@@ -1,0 +1,26 @@
+.PHONY: install test bench experiments examples lint clean
+
+install:
+	pip install -e ".[test]"
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+experiments:
+	python -m repro.experiments all --fast
+
+examples:
+	python examples/quickstart.py
+	python examples/algorithm_selection.py
+	python examples/scalability_study.py
+	python examples/cm5_reproduction.py --fast
+	python examples/technology_tradeoff.py
+	python examples/memory_constrained_scaling.py
+	python examples/paper_walkthrough.py
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

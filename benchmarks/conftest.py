@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (or a
+section's numeric claims) and asserts its shape findings, so
+``pytest benchmarks/ --benchmark-only`` doubles as a reproduction gate.
+Benchmarks that drive full simulations run with ``rounds=1`` via
+``benchmark.pedantic`` — the interesting number is the regeneration
+cost, not micro-variance.
+"""

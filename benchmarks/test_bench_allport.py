@@ -1,0 +1,14 @@
+"""Bench: regenerate the Section 7 all-port analysis."""
+
+from repro.experiments import allport
+
+
+def test_bench_allport(benchmark):
+    rows = benchmark(allport.run)
+    # GK: same asymptotic order with or without all-port hardware
+    gk = [r["ratio_allport_over_one_port"] for r in rows if r["algorithm"] == "gk"]
+    assert max(gk) / min(gk) < 100
+    # simple: all-port required problem size grows strictly faster
+    simple = [r["ratio_allport_over_one_port"] for r in rows if r["algorithm"] == "simple"]
+    assert simple == sorted(simple)
+    assert simple[-1] > 1.0

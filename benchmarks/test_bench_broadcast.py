@@ -1,0 +1,31 @@
+"""Bench: the §5.4.1 broadcast-scheme crossover, measured on the simulator."""
+
+import pytest
+
+from repro.core.machine import NCUBE2_LIKE
+from repro.experiments import broadcast_study
+
+
+def test_bench_broadcast_study(benchmark):
+    rows = benchmark.pedantic(broadcast_study.run, rounds=1, iterations=1)
+    bound = NCUBE2_LIKE.ts_over_tw  # * log2(p) applied per row
+
+    for row in rows:
+        if row["above_packet_bound"]:
+            # past the packet bound, both large-message schemes win (the
+            # paper's condition for the improved-GK broadcast to pay off)
+            assert row["T_scatter_allgather"] < row["T_binomial"]
+            assert row["T_pipelined_allport"] < row["T_binomial"]
+            # the all-port pipelined scheme tracks the Johnsson-Ho bound
+            assert row["T_pipelined_allport"] == pytest.approx(
+                row["jho_bound"], rel=0.10
+            )
+        else:
+            # tiny messages: the naive scheme's single log p startup wins
+            assert row["T_binomial"] < 2.5 * min(
+                row["T_scatter_allgather"], row["T_pipelined_allport"]
+            )
+
+    # asymptotically the gap grows like log p
+    big = rows[-1]
+    assert big["T_binomial"] / big["T_pipelined_allport"] > 3.0

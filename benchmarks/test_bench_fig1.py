@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 1 (region map, tw=3, ts=150 - nCUBE2-like)."""
+
+from repro.experiments import figures123
+
+
+def test_bench_fig1(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures123.run("fig1"), rounds=1, iterations=1
+    )
+    winners = result.map.winners()
+    fr = result.region_fractions()
+    # paper, Figure 1: Berntsen best below p = n^(3/2); GK the best overall
+    # choice above it; Cannon confined to a small low-p band; DNS impractical
+    assert fr["berntsen"] > 0.25
+    assert fr["gk"] > 0.25
+    assert fr.get("dns", 0.0) < 0.02
+    assert fr.get("cannon", 0.0) < fr["gk"]
+    # spot checks on the paper's described regions
+    from repro.core.regions import best_algorithm
+    from repro.core.machine import NCUBE2_LIKE
+
+    assert best_algorithm(256, 256, NCUBE2_LIKE) == "berntsen"  # p < n^1.5
+    assert best_algorithm(64, 4096, NCUBE2_LIKE) == "gk"  # p > n^1.5
+    assert "x" in winners  # the p > n^3 region exists on the grid

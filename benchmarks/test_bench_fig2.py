@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 2 (region map, tw=3, ts=10 - near-future MIMD)."""
+
+from repro.experiments import figures123
+
+
+def test_bench_fig2(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures123.run("fig2"), rounds=1, iterations=1
+    )
+    # paper, Figure 2: "each of the four algorithms performs better than the
+    # rest in some region and all the four regions a, b, c and d contain
+    # practical values of p and n"
+    fr = result.region_fractions()
+    for key in ("gk", "berntsen", "cannon", "dns"):
+        assert fr.get(key, 0.0) > 0.0, f"{key} wins nowhere on the Figure 2 grid"
+    # Berntsen still owns the low-p triangle; the GK region shrinks vs Fig 1
+    assert fr["berntsen"] > 0.25
+    from repro.experiments.figures123 import run as run_fig
+
+    fig1 = run_fig("fig1", p_step=2, n_step=2)
+    fig2_coarse = run_fig("fig2", p_step=2, n_step=2)
+    assert fig2_coarse.region_fractions()["gk"] < fig1.region_fractions()["gk"]

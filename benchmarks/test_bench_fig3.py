@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 3 (region map, tw=3, ts=0.5 - SIMD/CM-2-like)."""
+
+from repro.core.machine import SIMD_CM2_LIKE
+from repro.core.regions import best_algorithm
+from repro.experiments import figures123
+
+
+def test_bench_fig3(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures123.run("fig3"), rounds=1, iterations=1
+    )
+    fr = result.region_fractions()
+    # paper, Figure 3: "best to use the DNS algorithm for n^2 <= p <= n^3,
+    # Cannon's algorithm for n^(3/2) <= p <= n^2 and Berntsen's algorithm
+    # for p < n^(3/2)"; GK inferior in the practical range
+    assert fr["berntsen"] > 0.25
+    assert fr["dns"] > 0.05
+    assert fr["cannon"] > 0.1
+    assert fr.get("gk", 0.0) < fr["cannon"]
+    assert best_algorithm(64, 2**14, SIMD_CM2_LIKE) == "dns"
+    assert best_algorithm(256, 2**13, SIMD_CM2_LIKE) == "cannon"
+    assert best_algorithm(256, 256, SIMD_CM2_LIKE) == "berntsen"

@@ -1,0 +1,29 @@
+"""Bench: regenerate Figure 5 (CM-5 efficiency vs n, Cannon p=484 vs GK p=512).
+
+The paper's headline experiment: at 484/512 processors the crossover
+moves out to n ~ 295 and sits at a high efficiency, while at small
+matrices GK's advantage is large (paper: GK reaches E = 0.5 at n = 112
+where Cannon manages 0.28 on 110 x 110).
+"""
+
+import pytest
+
+from repro.experiments import figures45
+
+
+def test_bench_fig5(benchmark):
+    result = benchmark.pedantic(figures45.run_fig5, rounds=1, iterations=1)
+    assert result.crossover_model == pytest.approx(295, abs=12)  # paper: ~295
+    assert result.crossover_sim is not None
+    assert 176 <= result.crossover_sim <= 440
+
+    rows = {r["n"]: r for r in result.rows}
+    # the paper's "wide margin at small n" claim: at n ~ 110 GK's efficiency
+    # is far above Cannon's (paper: 0.50 vs 0.28 measured on the real CM-5)
+    small = rows[110]
+    assert small["E_gk_sim"] > small["E_cannon_sim"] * 1.5
+    # the crossover happens at high efficiency (paper: E ~ 0.93 measured;
+    # the cost model puts it lower but still well above one half)
+    n_cross = result.crossover_sim
+    closest = min(result.rows, key=lambda r: abs(r["n"] - n_cross))
+    assert closest["E_gk_sim"] > 0.5

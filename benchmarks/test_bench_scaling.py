@@ -1,0 +1,38 @@
+"""Bench: the Section 3 premises in full simulation (scaling experiment)."""
+
+from repro.experiments import scaling
+
+
+def test_bench_scaling(benchmark):
+    res = benchmark.pedantic(scaling.run, rounds=1, iterations=1)
+    # fixed problem size: efficiency strictly decays with p
+    for key in ("fixed_size_cannon", "fixed_size_gk"):
+        effs = [r["efficiency_sim"] for r in res[key]]
+        assert effs == sorted(effs, reverse=True)
+    # isoefficiency-scaled problems: efficiency held near the target
+    for key in ("iso_cannon", "iso_gk"):
+        for row in res[key]:
+            assert abs(row["efficiency_sim"] - row["target_E"]) < 0.15
+
+
+def test_bench_calibrated_prediction(benchmark):
+    """Calibrate (ts, tw) from small-p runs, predict a larger machine."""
+    import numpy as np
+
+    from repro.algorithms.cannon import run_cannon
+    from repro.core.machine import MachineParams
+    from repro.core.prediction import calibrate, predict
+
+    machine = MachineParams(ts=80.0, tw=2.5)
+
+    def full_loop():
+        fitted = calibrate("cannon", machine, [(16, 4), (32, 4), (32, 16), (48, 16)])
+        rng = np.random.default_rng(9)
+        A = rng.standard_normal((64, 64))
+        B = rng.standard_normal((64, 64))
+        measured = run_cannon(A, B, 64, machine).parallel_time
+        predicted = predict("cannon", 64, 64, fitted)["parallel_time"]
+        return measured, predicted
+
+    measured, predicted = benchmark.pedantic(full_loop, rounds=1, iterations=1)
+    assert abs(predicted - measured) / measured < 0.10

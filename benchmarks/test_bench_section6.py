@@ -1,0 +1,31 @@
+"""Bench: regenerate the Section 6 numeric claims (crossover constants)."""
+
+import pytest
+
+from repro.experiments import section6
+
+
+def test_bench_section6(benchmark):
+    rows = benchmark(section6.run)
+    assert all(r["agrees"] for r in rows)
+    by_claim = {r["claim"]: r for r in rows}
+    assert any("130 million" in r["paper_value"] for r in rows)
+    assert any("n = 83" in str(r["paper_value"]) for r in rows)
+
+
+def test_bench_tw_cutoff(benchmark):
+    from repro.core.crossover import gk_cannon_tw_cutoff
+
+    cutoff = benchmark(gk_cannon_tw_cutoff)
+    assert cutoff == pytest.approx(1.3e8, rel=0.05)  # paper: "130 million"
+
+
+def test_bench_crossover_curves(benchmark):
+    from repro.core.crossover import crossover_curve
+    from repro.core.machine import NCUBE2_LIKE
+
+    p_values = [2.0**k for k in range(4, 26)]
+    pts = benchmark(crossover_curve, "gk", "cannon", NCUBE2_LIKE, p_values)
+    found = [n for _, n in pts if n is not None]
+    assert found == sorted(found)  # monotone in this regime
+    assert len(found) >= 10

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the simulator substrate itself.
+
+These time the wall-clock cost of simulating the paper's workloads —
+useful for tracking regressions in the engine, and for documenting what
+a full Figure 4/5-scale run costs on a laptop.
+"""
+
+import numpy as np
+
+from repro.algorithms.cannon import run_cannon
+from repro.algorithms.gk import run_gk_cm5
+from repro.core.machine import CM5, NCUBE2_LIKE
+from repro.simulator.collectives import allgather_recursive_doubling
+from repro.simulator.engine import run_spmd
+from repro.simulator.topology import FullyConnected, Hypercube
+
+
+def _mats(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)), rng.standard_normal((n, n))
+
+
+def test_bench_cannon_p64(benchmark):
+    A, B = _mats(96)
+    res = benchmark(run_cannon, A, B, 64, NCUBE2_LIKE)
+    assert np.allclose(res.C, A @ B)
+
+
+def test_bench_gk_p512(benchmark):
+    A, B = _mats(64)
+    res = benchmark.pedantic(
+        run_gk_cm5, args=(A, B, 512), kwargs={"machine": CM5}, rounds=2, iterations=1
+    )
+    assert np.allclose(res.C, A @ B)
+
+
+def test_bench_engine_allgather_p256(benchmark):
+    topo = Hypercube(8)
+    group = list(range(256))
+
+    def factory(info):
+        def body():
+            out = yield from allgather_recursive_doubling(
+                info, group, np.zeros(16)
+            )
+            return len(out)
+
+        return body()
+
+    def run():
+        return run_spmd(topo, NCUBE2_LIKE, factory)
+
+    res = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert all(v == 256 for v in res.returns)
+
+
+def test_bench_engine_message_churn(benchmark):
+    # a tight ring of 64 ranks exchanging 200 rounds: ~12.8k messages
+    topo = FullyConnected(64)
+
+    def factory(info):
+        from repro.simulator.request import Compute, Recv, Send
+
+        def body():
+            nxt = (info.rank + 1) % 64
+            prv = (info.rank - 1) % 64
+            x = info.rank
+            for _ in range(200):
+                yield Send(dst=nxt, data=x, nwords=1)
+                x = yield Recv(src=prv)
+                yield Compute(1.0)
+            return x
+
+        return body()
+
+    res = benchmark.pedantic(lambda: run_spmd(topo, NCUBE2_LIKE, factory), rounds=2, iterations=1)
+    assert res.total_messages == 64 * 200

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 1 (overhead / isoefficiency / applicability)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(table1.run)
+    assert len(rows) == 5
+    # every asymptotic entry of the paper's Table 1 is confirmed empirically
+    assert all(r["matches"] for r in rows)
+    by_key = {r["algorithm"]: r for r in rows}
+    assert by_key["berntsen"]["asymptotic_isoeff"] == "O(p^2)"
+    assert by_key["cannon"]["asymptotic_isoeff"] == "O(p^1.5)"
+    assert by_key["gk"]["asymptotic_isoeff"] == "O(p (log p)^3)"
+    assert by_key["gk-improved"]["asymptotic_isoeff"] == "O(p (log p)^1.5)"
+    assert by_key["dns"]["asymptotic_isoeff"] == "O(p log p)"

@@ -1,0 +1,17 @@
+"""Bench: regenerate the Section 8 technology-scaling results."""
+
+import pytest
+
+from repro.experiments import technology
+
+
+def test_bench_technology(benchmark):
+    res = benchmark(technology.run)
+    growth = {r["claim"]: r["measured"] for r in res["growth"]}
+    assert growth["Cannon, 10x processors -> problem x31.6"] == pytest.approx(
+        31.6, rel=0.01
+    )
+    assert 900 < growth["Cannon, 10x faster CPUs (small ts) -> problem x~1000"] < 1001
+    winners = {r["winner"] for r in res["fleets"]}
+    # the punchline: neither fleet dominates - the winner flips with n
+    assert winners == {"many-slow", "few-fast"}

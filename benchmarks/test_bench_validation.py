@@ -1,0 +1,13 @@
+"""Bench: model-vs-simulator cross-validation sweep (foundation check)."""
+
+from repro.experiments import validation
+
+
+def test_bench_validation(benchmark):
+    rows = benchmark.pedantic(validation.run, rounds=1, iterations=1)
+    assert all(r["numerically_correct"] for r in rows)
+    for r in rows:
+        if "(exact)" in r["algorithm"]:
+            assert r["rel_err"] < 1e-12, r
+        else:
+            assert r["rel_err"] < 0.45, r

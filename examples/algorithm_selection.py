@@ -1,0 +1,62 @@
+"""The Section 10 "smart preprocessor": pick the best algorithm per machine.
+
+The paper concludes that none of the algorithms dominates — the winner
+depends on ``ts``, ``tw``, the processor count, and the matrix size —
+and suggests a library front-end that picks automatically.  This example
+asks the selector for its choice across several machines and instance
+shapes, then actually runs the chosen algorithm on the simulator and
+cross-checks the prediction against a rival.
+
+Usage::
+
+    python examples/algorithm_selection.py
+"""
+
+import numpy as np
+
+from repro import (
+    CM5,
+    FUTURE_MIMD,
+    NCUBE2_LIKE,
+    SIMD_CM2_LIKE,
+    select,
+    select_and_run,
+)
+
+SCENARIOS = [
+    # (description, n, p)
+    ("small matrices, many processors", 32, 512),
+    ("large matrices, few processors", 512, 64),
+    ("balanced", 128, 64),
+]
+
+MACHINES = [NCUBE2_LIKE, FUTURE_MIMD, SIMD_CM2_LIKE, CM5]
+
+
+def main() -> None:
+    print("model-driven selection (continuous Table 1 applicability):\n")
+    header = f"{'scenario':<32} {'n':>5} {'p':>5} " + "".join(
+        f"{m.name:>16}" for m in MACHINES
+    )
+    print(header)
+    print("-" * len(header))
+    for desc, n, p in SCENARIOS:
+        picks = []
+        for machine in MACHINES:
+            s = select(n, p, machine)
+            picks.append(f"{s.key} (E={s.predicted_efficiency:.2f})")
+        print(f"{desc:<32} {n:>5} {p:>5} " + "".join(f"{x:>16}" for x in picks))
+
+    print("\nrunning the selector's choice for n=96, p=64 on the nCUBE2-like machine:")
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((96, 96))
+    B = rng.standard_normal((96, 96))
+    selection, result = select_and_run(A, B, 64, NCUBE2_LIKE)
+    assert np.allclose(result.C, A @ B)
+    print(f"  chose {selection.key!r}; predicted T_p = {selection.predicted_time:.0f}, "
+          f"simulated T_p = {result.parallel_time:.0f}, efficiency = {result.efficiency:.3f}")
+    print("  full ranking:", ", ".join(f"{k}:{t:.0f}" for k, t in selection.ranking))
+
+
+if __name__ == "__main__":
+    main()

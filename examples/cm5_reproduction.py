@@ -1,0 +1,40 @@
+"""Reproduce the paper's CM-5 experiments (Section 9, Figures 4 and 5).
+
+Runs Cannon's algorithm and the GK algorithm on the simulated
+fully-connected CM-5 with the paper's measured constants, prints the
+efficiency-vs-n curves, and reports the crossover point against the
+paper's predicted (83 at p=64; ~295 at p=512) and measured (96 at p=64)
+values.
+
+Usage::
+
+    python examples/cm5_reproduction.py [--fig5] [--fast]
+"""
+
+import sys
+
+from repro.experiments import figures45
+
+
+def main() -> None:
+    fig5 = "--fig5" in sys.argv
+    fast = "--fast" in sys.argv
+    if fig5:
+        sizes = (66, 132, 264, 352) if fast else figures45._FIG5_SIZES
+        result = figures45.run_fig5(sizes=sizes)
+    else:
+        sizes = (16, 48, 96, 144) if fast else figures45._FIG4_SIZES
+        result = figures45.run_fig4(sizes=sizes)
+    print(figures45.format_text(result))
+    print()
+    if result.crossover_sim is not None:
+        lo = 0.5 * result.paper_predicted
+        hi = (result.paper_measured or result.paper_predicted) * 1.5
+        verdict = "consistent with" if lo <= result.crossover_sim <= hi else "DIFFERS from"
+        print(f"simulated crossover n ~ {result.crossover_sim:.0f} is {verdict} "
+              f"the paper's predicted {result.paper_predicted:.0f}"
+              + (f" / measured {result.paper_measured:.0f}" if result.paper_measured else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Memory-constrained scaling: what fits, and at what efficiency?
+
+The isoefficiency function (Section 3) says how fast the problem *must*
+grow to hold efficiency; per-processor memory bounds how fast it *can*
+grow.  This example sweeps machine sizes, fills each processor's memory
+with the largest problem every algorithm can hold (using the Section 4
+memory models), and reports the efficiency delivered there — showing
+why Cannon's memory efficiency matters: its memory-constrained scaling
+*is* its isoefficiency scaling, so its efficiency converges, while the
+memory-hungry formulations (simple, GK) drift.
+
+Usage::
+
+    python examples/memory_constrained_scaling.py [words_per_processor]
+"""
+
+import sys
+
+from repro.core import NCUBE2_LIKE
+from repro.core.scaled_speedup import scaled_speedup_curve
+
+
+def main() -> None:
+    budget = float(sys.argv[1]) if len(sys.argv) > 1 else 262_144.0  # ~2 MB of doubles
+    p_values = [2**k for k in range(4, 25, 4)]
+
+    print(f"per-processor memory budget: {budget:.0f} words; "
+          f"machine ts={NCUBE2_LIKE.ts}, tw={NCUBE2_LIKE.tw}\n")
+    header = f"{'p':>10}"
+    algs = ("cannon", "simple", "berntsen", "gk")
+    for a in algs:
+        header += f"{a + ' n':>14}{'E':>8}"
+    print(header)
+    print("-" * len(header))
+
+    curves = {a: scaled_speedup_curve(a, NCUBE2_LIKE, budget, p_values) for a in algs}
+    for i, p in enumerate(p_values):
+        row = f"{p:>10}"
+        for a in algs:
+            pt = curves[a][i]
+            row += f"{pt.n:>14.0f}{pt.efficiency:>8.3f}"
+        print(row)
+
+    print("\nCannon fills its memory with the biggest problem (memory-efficient)")
+    print("and its efficiency converges; GK/simple hold smaller problems per word")
+    print("of memory and pay for it at scale.")
+
+
+if __name__ == "__main__":
+    main()

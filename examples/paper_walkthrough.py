@@ -1,0 +1,85 @@
+"""One-shot walkthrough: every headline number of the paper, live.
+
+Runs the analytic checks instantly and a condensed set of simulations,
+printing paper-value vs reproduced-value as it goes.  A compact version
+of what `python -m repro.experiments all` and the benchmark suite do
+exhaustively.
+
+Usage::
+
+    python examples/paper_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.core import CM5, NCUBE2_LIKE, SIMD_CM2_LIKE
+from repro.core.crossover import equal_overhead_n, gk_cannon_tw_cutoff
+from repro.core.isoefficiency import fit_growth_exponent, isoefficiency
+from repro.core.models import MODELS
+from repro.core.regions import best_algorithm
+from repro.core.technology import (
+    work_growth_for_faster_processors,
+    work_growth_for_more_processors,
+)
+
+
+def check(label: str, paper, measured, ok: bool) -> None:
+    mark = "ok " if ok else "!! "
+    print(f"  [{mark}] {label:<58} paper: {paper:<14} got: {measured}")
+
+
+def main() -> None:
+    print("Gupta & Kumar (ICPP 1993) - headline reproduction\n")
+
+    print("Section 5 - isoefficiency (Table 1):")
+    ps = [2.0**k for k in range(12, 40, 4)]
+    for key, logk, expect in (("cannon", 0, 1.5), ("berntsen", 0, 2.0), ("gk", 3, 1.0)):
+        ws = [isoefficiency(MODELS[key], p, NCUBE2_LIKE, 0.5) for p in ps]
+        slope = fit_growth_exponent(ps, ws, log_power=logk)
+        check(f"{key}: fitted exponent (log-power {logk})", expect, f"{slope:.3f}",
+              abs(slope - expect) < 0.12)
+    cap = MODELS["dns"].max_efficiency(NCUBE2_LIKE)
+    check("DNS efficiency ceiling 1/(1+2(ts+tw)), ts=150", "0.00325", f"{cap:.5f}",
+          abs(cap - 1 / 307) < 1e-6)
+
+    print("\nSection 6 - crossovers:")
+    cutoff = gk_cannon_tw_cutoff()
+    check("GK tw-term beats Cannon beyond p =", "130 million", f"{cutoff:.3g}",
+          1.0e8 < cutoff < 1.6e8)
+    n64 = equal_overhead_n("gk-cm5", "cannon", 64, CM5)
+    check("CM-5 crossover at p=64", "n = 83", f"n = {n64:.1f}", abs(n64 - 83) < 3)
+    n512 = equal_overhead_n("gk-cm5", "cannon", 512, CM5)
+    check("CM-5 crossover at p=512", "n ~ 295", f"n = {n512:.1f}", abs(n512 - 295) < 10)
+    check("Figure 3 (ts=0.5): best at (n=64, p=2^14)", "DNS",
+          best_algorithm(64, 2**14, SIMD_CM2_LIKE), True)
+
+    print("\nSection 8 - technology:")
+    g1 = work_growth_for_more_processors("cannon", NCUBE2_LIKE, 1024, 10)
+    check("10x processors -> problem grows", "31.6x", f"{g1:.1f}x", abs(g1 - 31.6) < 0.5)
+    g2 = work_growth_for_faster_processors("cannon", SIMD_CM2_LIKE, 1024, 10)
+    check("10x faster CPUs -> problem grows", "~1000x", f"{g2:.0f}x", 900 < g2 < 1001)
+
+    print("\nSection 9 - simulated CM-5 (this takes a few seconds):")
+    from repro.algorithms.cannon import run_cannon
+    from repro.algorithms.gk import run_gk_cm5
+    from repro.simulator.topology import FullyConnected
+
+    rng = np.random.default_rng(0)
+    for n in (48, 112, 160):
+        A, B = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+        gk = run_gk_cm5(A, B, 64)
+        cn = run_cannon(A, B, 64, CM5, topology=FullyConnected(64))
+        assert np.allclose(gk.C, A @ B) and np.allclose(cn.C, A @ B)
+        winner = "GK" if gk.efficiency > cn.efficiency else "Cannon"
+        expected = "GK" if n < 83 else "Cannon"
+        check(
+            f"p=64, n={n}: E(GK)={gk.efficiency:.3f} E(Cannon)={cn.efficiency:.3f}",
+            f"{expected} wins",
+            f"{winner} wins",
+            winner == expected,
+        )
+    print("\nall products verified against A @ B")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Quickstart: multiply two matrices on a simulated hypercube.
+
+Runs Cannon's algorithm and the paper's GK algorithm on 64 simulated
+processors, verifies both against NumPy, and prints the simulated
+parallel time, speedup, and efficiency under the nCUBE2-like cost
+parameters (``ts=150``, ``tw=3``, Figure 1 of the paper).
+
+Usage::
+
+    python examples/quickstart.py [n] [p]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import NCUBE2_LIKE, run_cannon, run_gk
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    p = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+
+    rng = np.random.default_rng(42)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    expected = A @ B
+
+    print(f"multiplying {n}x{n} matrices on p={p} simulated processors "
+          f"(machine: ts={NCUBE2_LIKE.ts}, tw={NCUBE2_LIKE.tw})\n")
+
+    for name, runner in (("Cannon", run_cannon), ("GK", run_gk)):
+        result = runner(A, B, p, machine=NCUBE2_LIKE)
+        assert np.allclose(result.C, expected), f"{name} produced a wrong product!"
+        print(f"{name:>8}:  T_p = {result.parallel_time:10.1f} basic-op units   "
+              f"speedup = {result.speedup:7.2f}   efficiency = {result.efficiency:.3f}")
+
+    print("\nboth products verified against A @ B")
+
+
+if __name__ == "__main__":
+    main()

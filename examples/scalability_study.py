@@ -1,0 +1,63 @@
+"""Isoefficiency study: how fast must the problem grow per algorithm?
+
+Reproduces the heart of the paper's methodology on your parameters:
+for each algorithm, solve ``W = K * T_o(W, p)`` numerically over a range
+of processor counts and print the required problem growth, the fitted
+growth exponent, and the paper's asymptotic isoefficiency for
+comparison.  Also demonstrates the DNS efficiency ceiling
+``1/(1 + 2(ts+tw))`` (Section 5.3).
+
+Usage::
+
+    python examples/scalability_study.py [efficiency]
+"""
+
+import sys
+
+from repro.core import MachineParams, isoefficiency
+from repro.core.isoefficiency import fit_growth_exponent
+from repro.core.models import MODELS
+
+#: modest, balanced parameters so every algorithm can reach the target
+MACHINE = MachineParams(ts=2.0, tw=0.5, name="study")
+
+ALGORITHMS = [
+    ("cannon", 0),
+    ("simple", 0),
+    ("fox", 0),
+    ("berntsen", 0),
+    ("gk", 3),
+    ("gk-improved", 1.5),
+    ("dns", 1),
+]
+
+
+def main() -> None:
+    target = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    p_values = [2**k for k in range(6, 34, 4)]
+
+    print(f"isoefficiency W(p) at E = {target} on machine "
+          f"(ts={MACHINE.ts}, tw={MACHINE.tw})\n")
+    header = f"{'algorithm':<12}" + "".join(f"{'2^' + str(k):>12}" for k in range(6, 34, 4))
+    header += f"{'fit':>8}  paper"
+    print(header)
+    print("-" * len(header))
+
+    for key, log_power in ALGORITHMS:
+        model = MODELS[key]
+        cap = model.max_efficiency(MACHINE)
+        if target >= cap:
+            print(f"{key:<12}  unreachable: efficiency capped at {cap:.3f} "
+                  f"(= 1/(1+2(ts+tw)), Section 5.3)")
+            continue
+        ws = [isoefficiency(model, p, MACHINE, target) for p in p_values]
+        cells = "".join(f"{w:>12.3g}" for w in ws)
+        slope = fit_growth_exponent(p_values, ws, log_power=log_power)
+        print(f"{key:<12}{cells}{slope:>8.2f}  {model.asymptotic_isoefficiency}")
+
+    print("\n(the 'fit' column is the least-squares growth exponent after dividing")
+    print(" out the paper's (log p)^k factor - it should match the polynomial degree)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Many slow processors vs few fast ones (Section 8).
+
+Conventional wisdom says fewer, faster processors always win.  The paper
+shows the opposite can hold for matrix multiplication: speeding the CPUs
+up k-fold also scales the *relative* communication costs ``ts``/``tw``
+by k, and the ``tw^3`` factor in the isoefficiency function then demands
+a ``k^3``-fold larger problem to stay efficient.  This example sweeps
+problem sizes and reports which fleet — (k*p, speed 1) or (p, speed k) —
+finishes a fixed problem first in wall clock, plus the required
+problem-growth factors behind it.
+
+Usage::
+
+    python examples/technology_tradeoff.py [k]
+"""
+
+import sys
+
+from repro.core import NCUBE2_LIKE, SIMD_CM2_LIKE
+from repro.core.technology import (
+    compare_fleets,
+    work_growth_for_faster_processors,
+    work_growth_for_more_processors,
+)
+
+
+def main() -> None:
+    k = float(sys.argv[1]) if len(sys.argv) > 1 else 4.0
+    p = 64
+
+    print(f"Cannon's algorithm, base machine ts={NCUBE2_LIKE.ts}, tw={NCUBE2_LIKE.tw}")
+    print(f"fleet A: {int(k * p)} unit-speed processors | fleet B: {p} processors, {k:g}x fast\n")
+    print(f"{'n':>7} {'T_A (many slow)':>18} {'T_B (few fast)':>18}   winner")
+    print("-" * 60)
+    n = 64
+    while n <= 16384:
+        cmp_ = compare_fleets("cannon", n, p, k, NCUBE2_LIKE)
+        winner = "many-slow" if cmp_.many_slow_wins else "few-fast"
+        print(f"{n:>7} {cmp_.seconds_many_slow:>18.3g} {cmp_.seconds_few_fast:>18.3g}   {winner}")
+        n *= 2
+
+    print("\nwhy: problem growth needed to hold E = 0.5")
+    g_more = work_growth_for_more_processors("cannon", NCUBE2_LIKE, p, 10)
+    g_fast = work_growth_for_faster_processors("cannon", SIMD_CM2_LIKE, p, 10)
+    print(f"  10x more processors  -> W x {g_more:.1f}   (paper: 31.6 = 10^1.5)")
+    print(f"  10x faster CPUs      -> W x {g_fast:.1f}  (paper: ~1000 = 10^3, small-ts regime)")
+
+
+if __name__ == "__main__":
+    main()

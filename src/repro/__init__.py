@@ -1,0 +1,92 @@
+"""repro — reproduction of Gupta & Kumar, *Scalability of Parallel
+Algorithms for Matrix Multiplication* (ICPP 1993).
+
+The package has four layers:
+
+* :mod:`repro.simulator` — a discrete-event multicomputer simulator (the
+  hardware substitute for the paper's CM-5/hypercube testbed),
+* :mod:`repro.algorithms` — the six parallel matrix-multiplication
+  formulations of Section 4, executed on the simulator and verified
+  against NumPy,
+* :mod:`repro.core` — the analytic framework: execution-time models,
+  isoefficiency analysis, crossover curves, region maps, all-port and
+  technology-scaling analysis, and the Section-10 algorithm selector,
+* :mod:`repro.experiments` — drivers regenerating every table and figure
+  of the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import run_cannon, run_gk, NCUBE2_LIKE
+
+    rng = np.random.default_rng(0)
+    A, B = rng.standard_normal((64, 64)), rng.standard_normal((64, 64))
+    result = run_cannon(A, B, p=16, machine=NCUBE2_LIKE)
+    assert np.allclose(result.C, A @ B)
+    print(result.parallel_time, result.efficiency)
+"""
+
+from repro.algorithms import (
+    REGISTRY,
+    MatmulResult,
+    feasible_algorithms,
+    run_berntsen,
+    run_cannon,
+    run_dns_block,
+    run_dns_one_per_element,
+    run_fox,
+    run_gk,
+    run_gk_cm5,
+    run_simple,
+    serial_matmul,
+)
+from repro.core import (
+    CM5,
+    COMPARISON_MODELS,
+    FUTURE_MIMD,
+    IDEAL,
+    MODELS,
+    NCUBE2_LIKE,
+    SIMD_CM2_LIKE,
+    MachineParams,
+    best_algorithm,
+    compare_fleets,
+    equal_overhead_n,
+    isoefficiency,
+    region_map,
+    select,
+    select_and_run,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MatmulResult",
+    "REGISTRY",
+    "feasible_algorithms",
+    "run_simple",
+    "run_cannon",
+    "run_fox",
+    "run_berntsen",
+    "run_dns_one_per_element",
+    "run_dns_block",
+    "run_gk",
+    "run_gk_cm5",
+    "serial_matmul",
+    "MachineParams",
+    "CM5",
+    "FUTURE_MIMD",
+    "IDEAL",
+    "NCUBE2_LIKE",
+    "SIMD_CM2_LIKE",
+    "MODELS",
+    "COMPARISON_MODELS",
+    "isoefficiency",
+    "equal_overhead_n",
+    "best_algorithm",
+    "region_map",
+    "select",
+    "select_and_run",
+    "compare_fleets",
+]

@@ -1,0 +1,46 @@
+"""Parallel matrix-multiplication algorithms executed on the simulator.
+
+One module per formulation analysed in the paper (Sections 4.1-4.6),
+plus the registry that plays the role of Section 10's algorithm library.
+Every driver returns a :class:`~repro.algorithms.base.MatmulResult`
+carrying both the numerically exact product and the simulated timing.
+"""
+
+from repro.algorithms.base import MatmulResult, matmul_cost, serial_work
+from repro.algorithms.berntsen import berntsen_max_procs, run_berntsen
+from repro.algorithms.cannon import run_cannon
+from repro.algorithms.dns import run_dns_block, run_dns_one_per_element
+from repro.algorithms.fox import BROADCAST_SCHEMES, run_fox
+from repro.algorithms.gk import run_gk, run_gk_cm5
+from repro.algorithms.registry import (
+    REGISTRY,
+    AlgorithmEntry,
+    feasible_algorithms,
+    get,
+    run,
+)
+from repro.algorithms.serial import serial_matmul, serial_time
+from repro.algorithms.simple import run_simple
+
+__all__ = [
+    "MatmulResult",
+    "matmul_cost",
+    "serial_work",
+    "serial_matmul",
+    "serial_time",
+    "run_simple",
+    "run_cannon",
+    "run_fox",
+    "BROADCAST_SCHEMES",
+    "run_berntsen",
+    "berntsen_max_procs",
+    "run_dns_one_per_element",
+    "run_dns_block",
+    "run_gk",
+    "run_gk_cm5",
+    "REGISTRY",
+    "AlgorithmEntry",
+    "feasible_algorithms",
+    "get",
+    "run",
+]

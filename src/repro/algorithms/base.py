@@ -1,0 +1,220 @@
+"""Shared infrastructure for the parallel matrix-multiplication algorithms.
+
+Every algorithm module exposes a driver ``run_<name>(A, B, p, machine, ...)``
+returning a :class:`MatmulResult`: the numerically-exact product together
+with the simulated timing.  This module holds the pieces they share —
+processor-grid layouts (with hypercube subcube/Gray embeddings), cube
+routing, compute-cost conventions, and the result container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.machine import MachineParams
+from repro.simulator.engine import RankInfo, SimResult
+from repro.simulator.request import Recv, Send
+from repro.simulator.topology import (
+    FullyConnected,
+    Hypercube,
+    Mesh2D,
+    Topology,
+    gray_code,
+)
+
+__all__ = [
+    "MatmulResult",
+    "matmul_cost",
+    "serial_work",
+    "grid_layout",
+    "cube_layout_3d",
+    "cube_route",
+    "default_topology",
+    "check_same_shape",
+]
+
+
+def matmul_cost(a: int, b: int, c: int) -> float:
+    """Basic-op units to multiply an ``a x b`` block by a ``b x c`` block.
+
+    The paper's convention (Section 2): one fused multiply-add is one unit,
+    so a block product costs ``a*b*c`` units and accumulating into C is
+    free (it is the "add" half of the fused operation).
+    """
+    return float(a) * float(b) * float(c)
+
+
+def serial_work(n: int, m: int | None = None, k: int | None = None) -> float:
+    """``W``: serial cost of the conventional algorithm (``n^3`` for square)."""
+    m = n if m is None else m
+    k = n if k is None else k
+    return float(n) * float(m) * float(k)
+
+
+def check_same_shape(A: np.ndarray, B: np.ndarray) -> int:
+    """Validate square, conforming operands; return their order *n*."""
+    if A.ndim != 2 or B.ndim != 2:
+        raise ValueError("operands must be 2-D")
+    if A.shape[0] != A.shape[1] or B.shape[0] != B.shape[1] or A.shape != B.shape:
+        raise ValueError(
+            f"this driver multiplies square matrices of equal order, got {A.shape} x {B.shape}"
+        )
+    return A.shape[0]
+
+
+def default_topology(p: int, kind: str = "hypercube") -> Topology:
+    """Construct the topology the paper assumes for *p* processors."""
+    if kind == "hypercube":
+        return Hypercube.of_size(p)
+    if kind == "fully-connected":
+        return FullyConnected(p)
+    raise ValueError(f"unknown topology kind {kind!r}")
+
+
+def grid_layout(topology: Topology, rows: int, cols: int, scheme: str = "binary") -> list[list[int]]:
+    """Map a logical ``rows x cols`` processor grid onto *topology*.
+
+    Returns ``layout[r][c] -> rank``.  Schemes:
+
+    * ``"binary"`` — concatenated binary coordinates.  On a hypercube
+      (power-of-two sides) every grid row and every grid column is a
+      subcube, so recursive-doubling collectives cross one link per step.
+      Used by the simple algorithm.
+    * ``"gray"`` — concatenated binary-reflected Gray codes.  Ring
+      neighbors along rows and columns (including the wraparound edge)
+      are hypercube neighbors.  Used by Cannon and Fox.
+    * On :class:`Mesh2D` the mesh's own row-major coordinates are used
+      (the grid must match the mesh shape); on :class:`FullyConnected`
+      row-major order is used (all pairs are one hop anyway).
+    """
+    if isinstance(topology, Mesh2D):
+        if (topology.rows, topology.cols) != (rows, cols):
+            raise ValueError(
+                f"mesh is {topology.rows}x{topology.cols}, grid wants {rows}x{cols}"
+            )
+        return [[topology.rank(r, c) for c in range(cols)] for r in range(rows)]
+
+    if rows * cols != topology.size:
+        raise ValueError(f"grid {rows}x{cols} does not cover topology of size {topology.size}")
+
+    if isinstance(topology, Hypercube):
+        if rows & (rows - 1) or cols & (cols - 1):
+            raise ValueError("hypercube grid sides must be powers of two")
+        cbits = cols.bit_length() - 1
+        if scheme == "gray":
+            code = gray_code
+        elif scheme == "binary":
+            def code(x: int) -> int:
+                return x
+        else:
+            raise ValueError(f"unknown layout scheme {scheme!r}")
+        return [[(code(r) << cbits) | code(c) for c in range(cols)] for r in range(rows)]
+
+    # fully connected (or anything else): row-major
+    return [[r * cols + c for c in range(cols)] for r in range(rows)]
+
+
+def cube_layout_3d(topology: Topology, r: int) -> dict[tuple[int, int, int], int]:
+    """Map an ``r x r x r`` logical processor cube onto *topology*.
+
+    Returns ``layout[(i, j, k)] -> rank`` with each axis occupying a
+    contiguous bit-field of the rank, so every axis-aligned group of the
+    cube is a hypercube subcube.
+    """
+    if r**3 != topology.size:
+        raise ValueError(f"cube {r}^3 does not cover topology of size {topology.size}")
+    if isinstance(topology, Hypercube) and r & (r - 1):
+        raise ValueError("hypercube cube side must be a power of two")
+    bits = max(r - 1, 0).bit_length()
+    return {
+        (i, j, k): (((i << bits) | j) << bits) | k
+        for i in range(r)
+        for j in range(r)
+        for k in range(r)
+    }
+
+
+def cube_route(info: RankInfo, src: int, dst: int, data: Any, nwords: int, tag: int = 0):
+    """Relay *data* from *src* to *dst* one hypercube dimension at a time.
+
+    This reproduces the paper's DNS/GK stage-1 routing cost of one full
+    message per differing address bit ("sent ... in ``log r`` steps"):
+    every intermediate node receives and re-sends the whole payload.
+    Ranks on the relay path (including *src*/*dst*) must all call this;
+    bystanders may call it too (they return immediately).  Returns the
+    payload at *dst* (and at intermediate hops), ``None`` elsewhere.
+    """
+    if src == dst:
+        return data if info.rank == src else None
+    diff = src ^ dst
+    path = [src]
+    cur = src
+    for bit in range(diff.bit_length()):
+        if diff & (1 << bit):
+            cur ^= 1 << bit
+            path.append(cur)
+    if info.rank not in path:
+        return None
+    pos = path.index(info.rank)
+    if pos > 0:
+        data = yield Recv(src=path[pos - 1], tag=tag)
+    if pos < len(path) - 1:
+        yield Send(dst=path[pos + 1], data=data, nwords=nwords, tag=tag)
+    return data
+
+
+@dataclass
+class MatmulResult:
+    """Product matrix plus the simulated execution profile."""
+
+    C: np.ndarray
+    """The computed product (numerically identical to ``A @ B``)."""
+
+    sim: SimResult
+    """Raw simulation outcome (per-rank stats, trace, returns)."""
+
+    n: int
+    """Matrix order."""
+
+    p: int
+    """Number of processors used."""
+
+    machine: MachineParams
+    algorithm: str = ""
+
+    @property
+    def parallel_time(self) -> float:
+        """``T_p`` in basic-op units."""
+        return self.sim.parallel_time
+
+    @property
+    def work(self) -> float:
+        """``W = n^3``."""
+        return serial_work(self.n)
+
+    @property
+    def speedup(self) -> float:
+        return self.sim.speedup(self.work)
+
+    @property
+    def efficiency(self) -> float:
+        return self.sim.efficiency(self.work)
+
+    @property
+    def total_overhead(self) -> float:
+        """``T_o = p*T_p - W``."""
+        return self.sim.total_overhead(self.work)
+
+    @property
+    def wallclock_seconds(self) -> float:
+        """``T_p`` denormalized by the machine's unit time."""
+        return self.machine.to_seconds(self.parallel_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MatmulResult({self.algorithm}, n={self.n}, p={self.p}, "
+            f"Tp={self.parallel_time:.1f}, E={self.efficiency:.3f})"
+        )

@@ -1,0 +1,165 @@
+"""Berntsen's algorithm — paper Section 4.4.
+
+Exploits hypercube connectivity beyond the mesh: with ``p = 2**(3q)``
+processors (and the concurrency restriction ``p <= n^{3/2}``), A is
+split into ``2**q`` column strips and B into ``2**q`` row strips.  The
+cube is split into ``2**q`` subcubes of ``2**(2q)`` processors; subcube
+*s* multiplies strip pair *s* with Cannon's algorithm on a
+``2**q x 2**q`` grid, producing a partial ``n x n`` product; the partial
+products are then summed across subcubes (recursive halving, so the
+summation moves only ``~n^2/p^{2/3}`` words per processor).
+
+Modeled time (Eq. 5)::
+
+    T_p = n^3/p + 2*ts*p^{1/3} + (1/3)*ts*log p + 3*tw*n^2/p^{2/3}
+
+Like the simple algorithm it is not memory-efficient
+(``2*n^2/p + n^2/p^{2/3}`` words per processor), and its concurrency
+limit ``p <= n^{3/2}`` is what drives its poor ``O(p^2)`` isoefficiency
+despite the smallest communication overhead of the five algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import (
+    MatmulResult,
+    check_same_shape,
+    default_topology,
+    matmul_cost,
+)
+from repro.blockops.partition import BlockSpec, block_slices
+from repro.core.machine import MachineParams, NCUBE2_LIKE
+from repro.simulator.collectives import reduce_scatter_halving, shift_cyclic
+from repro.simulator.engine import Engine, RankInfo
+from repro.simulator.request import Compute
+from repro.simulator.topology import Hypercube, Topology, gray_code
+
+__all__ = ["run_berntsen", "berntsen_max_procs"]
+
+_TAG_ROLL_A, _TAG_ROLL_B, _TAG_REDUCE = 1, 2, 3
+
+
+def berntsen_max_procs(n: int) -> int:
+    """Largest ``p = 2**(3q)`` satisfying the paper's ``p <= n^{3/2}`` restriction."""
+    p = 1
+    while (8 * p) ** 2 <= n**3:
+        p *= 8
+    return p
+
+
+def _program(
+    s: int,
+    i: int,
+    j: int,
+    a_block: np.ndarray,
+    b_block: np.ndarray,
+    row_group: list[int],
+    col_group: list[int],
+    reduce_group: list[int],
+):
+    side = len(row_group)
+
+    def body(info: RankInfo):
+        a, b = a_block, b_block
+        c = None
+        for t in range(side):
+            yield Compute(matmul_cost(a.shape[0], a.shape[1], b.shape[1]), label="gemm")
+            c = a @ b if c is None else c + a @ b
+            if t < side - 1:
+                a = yield from shift_cyclic(info, row_group, -1, a, tag=_TAG_ROLL_A)
+                b = yield from shift_cyclic(info, col_group, -1, b, tag=_TAG_ROLL_B)
+        piece, lo, hi = yield from reduce_scatter_halving(
+            info, reduce_group, c, tag=_TAG_REDUCE
+        )
+        return (i, j), c.shape, piece, lo, hi
+
+    return body
+
+
+def run_berntsen(
+    A: np.ndarray,
+    B: np.ndarray,
+    p: int,
+    machine: MachineParams = NCUBE2_LIKE,
+    topology: Topology | None = None,
+    *,
+    enforce_concurrency_limit: bool = True,
+    trace: bool = False,
+) -> MatmulResult:
+    """Multiply *A* and *B* on ``p = 2**(3q)`` simulated processors (Berntsen).
+
+    With ``enforce_concurrency_limit`` the paper's applicability range
+    ``p <= n^{3/2}`` is enforced; disable it to run the algorithm outside
+    that range (it still needs ``2**q`` to divide into at most *n* pieces
+    both ways, i.e. ``p^{2/3} <= n``).
+    """
+    n = check_same_shape(A, B)
+    q = 0
+    while (1 << (3 * (q + 1))) <= p:
+        q += 1
+    if (1 << (3 * q)) != p:
+        raise ValueError(f"Berntsen's algorithm needs p = 2**(3q), got {p}")
+    nsub = 1 << q  # number of subcubes == Cannon grid side within a subcube
+    if enforce_concurrency_limit and p**2 > n**3:
+        raise ValueError(
+            f"concurrency restriction p <= n^(3/2) violated: p={p}, n={n} "
+            f"(max p = {berntsen_max_procs(n)})"
+        )
+    if nsub * nsub > n:
+        raise ValueError(f"need p^(2/3) <= n to form blocks, got {nsub * nsub} > {n}")
+
+    topo = topology or default_topology(p)
+
+    # rank = (s << 2q) | (gray(i) << q) | gray(j): each subcube is contiguous,
+    # Cannon rings within a subcube cross one hypercube link per roll, and the
+    # cross-subcube reduction groups (fixed i,j) are subcubes too.
+    def rank_of(s: int, i: int, j: int) -> int:
+        if isinstance(topo, Hypercube):
+            return (s << (2 * q)) | (gray_code(i) << q) | gray_code(j)
+        return (s << (2 * q)) | (i << q) | j
+
+    col_strips = block_slices(n, nsub)  # A column strips / B row strips
+
+    factories: list = [None] * p
+    for s in range(nsub):
+        a_strip = A[:, col_strips[s]]
+        b_strip = B[col_strips[s], :]
+        w = a_strip.shape[1]
+        # inner-Cannon block specs: A strip is n x w over an nsub x nsub grid
+        a_spec = BlockSpec(n, w, nsub, nsub)
+        b_spec = BlockSpec(w, n, nsub, nsub)
+        a_blocks = a_spec.scatter(a_strip)
+        b_blocks = b_spec.scatter(b_strip)
+        for i in range(nsub):
+            for j in range(nsub):
+                row_group = [rank_of(s, i, c) for c in range(nsub)]
+                col_group = [rank_of(s, r, j) for r in range(nsub)]
+                reduce_group = [rank_of(t, i, j) for t in range(nsub)]
+                factories[rank_of(s, i, j)] = _program(
+                    s,
+                    i,
+                    j,
+                    a_blocks[i][(i + j) % nsub],  # pre-aligned, as in run_cannon
+                    b_blocks[(i + j) % nsub][j],
+                    row_group,
+                    col_group,
+                    reduce_group,
+                )
+
+    sim = Engine(topo, machine, trace=trace).run(factories)
+
+    # Reassemble: for each grid position the summed C block lives striped
+    # (by flattened-word interval) across the nsub corresponding ranks.
+    c_spec = BlockSpec(n, n, nsub, nsub)
+    C = np.zeros((n, n), dtype=np.result_type(A, B))
+    pieces: dict[tuple[int, int], list] = {}
+    shapes: dict[tuple[int, int], tuple[int, int]] = {}
+    for (i, j), shape, piece, lo, hi in sim.returns:
+        pieces.setdefault((i, j), []).append((lo, piece))
+        shapes[(i, j)] = shape
+    for (i, j), parts in pieces.items():
+        flat = np.concatenate([x for _, x in sorted(parts, key=lambda t: t[0])])
+        C[c_spec.block_slice(i, j)] = flat.reshape(shapes[(i, j)])
+    return MatmulResult(C=C, sim=sim, n=n, p=p, machine=machine, algorithm="berntsen")

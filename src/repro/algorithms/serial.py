@@ -1,0 +1,29 @@
+"""Serial reference: the conventional ``O(n^3)`` algorithm.
+
+The paper's problem size ``W`` is the serial execution time, taken as
+``n^3`` basic (multiply-add) operations.  Numerically we delegate to
+NumPy — the point of this module is the *cost* convention and a trusted
+answer to verify every parallel formulation against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import serial_work
+
+__all__ = ["serial_matmul", "serial_time", "serial_work"]
+
+
+def serial_matmul(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """The product ``A @ B`` (reference answer for all parallel drivers)."""
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+        raise ValueError(f"non-conforming operands {A.shape} x {B.shape}")
+    return A @ B
+
+
+def serial_time(n: int) -> float:
+    """Modeled serial execution time ``W = n^3`` in basic-op units."""
+    if n <= 0:
+        raise ValueError("matrix order must be positive")
+    return serial_work(n)

@@ -1,0 +1,108 @@
+"""The simple (all-to-all broadcast) algorithm — paper Section 4.1.
+
+Matrices are block-distributed over a √p x √p logical grid.  Each row of
+processors all-to-all broadcasts its A blocks, each column its B blocks;
+afterwards every processor multiplies its √p block pairs locally.
+
+Modeled time (Eq. 2)::
+
+    T_p = n^3/p + 2*ts*log p + 2*tw*n^2/sqrt(p)
+
+The algorithm is *memory-inefficient*: every processor ends up holding
+``O(n^2/sqrt(p))`` words (a full block-row of A and block-column of B).
+The driver reports the simulated peak so tests can check that claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import (
+    MatmulResult,
+    check_same_shape,
+    default_topology,
+    grid_layout,
+    matmul_cost,
+)
+from repro.blockops.partition import BlockSpec, int_sqrt
+from repro.core.machine import MachineParams, NCUBE2_LIKE
+from repro.simulator.collectives import (
+    allgather_recursive_doubling,
+    allgather_ring,
+)
+from repro.simulator.engine import Engine, RankInfo
+from repro.simulator.request import Compute
+from repro.simulator.topology import Mesh2D, Topology
+
+__all__ = ["run_simple"]
+
+_TAG_ROW, _TAG_COL = 1, 2
+
+
+def _program(
+    i: int,
+    j: int,
+    a_block: np.ndarray,
+    b_block: np.ndarray,
+    row_group: list[int],
+    col_group: list[int],
+    use_ring: bool,
+):
+    def body(info: RankInfo):
+        allgather = allgather_ring if use_ring else allgather_recursive_doubling
+        a_row = yield from allgather(info, row_group, a_block, tag=_TAG_ROW)
+        b_col = yield from allgather(info, col_group, b_block, tag=_TAG_COL)
+        c = None
+        for t in range(len(row_group)):
+            at, bt = a_row[t], b_col[t]
+            yield Compute(matmul_cost(at.shape[0], at.shape[1], bt.shape[1]), label="gemm")
+            c = at @ bt if c is None else c + at @ bt
+        peak_words = sum(x.size for x in a_row) + sum(x.size for x in b_col) + c.size
+        return (i, j), c, peak_words
+
+    return body
+
+
+def run_simple(
+    A: np.ndarray,
+    B: np.ndarray,
+    p: int,
+    machine: MachineParams = NCUBE2_LIKE,
+    topology: Topology | None = None,
+    *,
+    trace: bool = False,
+) -> MatmulResult:
+    """Multiply *A* and *B* on *p* simulated processors with the simple algorithm.
+
+    *p* must be a perfect square with ``sqrt(p) <= n``; on a hypercube it
+    must additionally be a power of four (so both grid sides are powers
+    of two).  The result's ``sim.returns`` carry each rank's peak memory
+    in words (third tuple element).
+    """
+    n = check_same_shape(A, B)
+    side = int_sqrt(p)
+    if side > n:
+        raise ValueError(f"need sqrt(p) <= n, got sqrt({p}) > {n}")
+    topo = topology or default_topology(p)
+    layout = grid_layout(topo, side, side, scheme="binary")
+    use_ring = isinstance(topo, Mesh2D)
+
+    spec = BlockSpec(n, n, side, side)
+    a_blocks = spec.scatter(A)
+    b_blocks = spec.scatter(B)
+
+    factories: list = [None] * p
+    for i in range(side):
+        for j in range(side):
+            row_group = [layout[i][c] for c in range(side)]
+            col_group = [layout[r][j] for r in range(side)]
+            factories[layout[i][j]] = _program(
+                i, j, a_blocks[i][j], b_blocks[i][j], row_group, col_group, use_ring
+            )
+
+    sim = Engine(topo, machine, trace=trace).run(factories)
+
+    C = np.zeros((n, n), dtype=np.result_type(A, B))
+    for (i, j), c_block, _peak in sim.returns:
+        C[spec.block_slice(i, j)] = c_block
+    return MatmulResult(C=C, sim=sim, n=n, p=p, machine=machine, algorithm="simple")

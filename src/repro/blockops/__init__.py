@@ -1,0 +1,27 @@
+"""Block-matrix utilities: 2-D partitioning, scatter/gather, block containers."""
+
+from repro.blockops.blockmatrix import BlockMatrix
+from repro.blockops.partition import (
+    BlockSpec,
+    block_shape,
+    block_slices,
+    gather_blocks,
+    int_cbrt,
+    int_sqrt,
+    is_perfect_square,
+    is_power_of,
+    scatter_blocks,
+)
+
+__all__ = [
+    "BlockMatrix",
+    "BlockSpec",
+    "block_shape",
+    "block_slices",
+    "gather_blocks",
+    "int_cbrt",
+    "int_sqrt",
+    "is_perfect_square",
+    "is_power_of",
+    "scatter_blocks",
+]

@@ -1,0 +1,135 @@
+"""Core analysis framework: machine models, execution-time models,
+isoefficiency, crossovers, regions, all-port analysis, technology
+scaling, and the algorithm selector."""
+
+from repro.core.allport import ALLPORT_MODELS, GKAllPortModel, SimpleAllPortModel
+from repro.core.crossover import (
+    cannon_gk_closed_form,
+    crossover_curve,
+    dns_beats_gk_max_procs,
+    equal_overhead_n,
+    gk_cannon_tw_cutoff,
+)
+from repro.core.isoefficiency import (
+    IsoefficiencyCurve,
+    fit_growth_exponent,
+    isoefficiency,
+    isoefficiency_curve,
+    isoefficiency_terms,
+)
+from repro.core.machine import (
+    CM5,
+    FUTURE_MIMD,
+    IDEAL,
+    NCUBE2_LIKE,
+    PRESETS,
+    SIMD_CM2_LIKE,
+    MachineParams,
+)
+from repro.core.decomposition import (
+    OverheadBreakdown,
+    communication_by_kind,
+    communication_by_tag,
+    decompose_overhead,
+)
+from repro.core.memory import MEMORY_MODELS, MemoryModel, memory_table
+from repro.core.metrics import (
+    efficiency,
+    efficiency_from_overhead,
+    k_factor,
+    speedup,
+    total_overhead,
+)
+from repro.core.models import (
+    COMPARISON_MODELS,
+    MODELS,
+    AlgorithmModel,
+    BerntsenModel,
+    CannonModel,
+    DNSModel,
+    FoxModel,
+    GKCM5Model,
+    GKImprovedModel,
+    GKModel,
+    SimpleModel,
+)
+from repro.core.regions import LETTER_OF, RegionMap, best_algorithm, region_map
+from repro.core.prediction import TimingSample, calibrate, fit_machine_params, predict
+from repro.core.scaled_speedup import (
+    ScaledPoint,
+    memory_constrained_n,
+    scaled_speedup_curve,
+)
+from repro.core.selector import Selection, select, select_and_run
+from repro.core.technology import (
+    FleetComparison,
+    compare_fleets,
+    faster_processors,
+    work_growth_for_faster_processors,
+    work_growth_for_more_processors,
+)
+
+__all__ = [
+    "MachineParams",
+    "CM5",
+    "FUTURE_MIMD",
+    "IDEAL",
+    "NCUBE2_LIKE",
+    "PRESETS",
+    "SIMD_CM2_LIKE",
+    "AlgorithmModel",
+    "MODELS",
+    "COMPARISON_MODELS",
+    "SimpleModel",
+    "CannonModel",
+    "FoxModel",
+    "BerntsenModel",
+    "DNSModel",
+    "GKModel",
+    "GKImprovedModel",
+    "GKCM5Model",
+    "ALLPORT_MODELS",
+    "SimpleAllPortModel",
+    "GKAllPortModel",
+    "MEMORY_MODELS",
+    "MemoryModel",
+    "memory_table",
+    "OverheadBreakdown",
+    "communication_by_kind",
+    "communication_by_tag",
+    "decompose_overhead",
+    "ScaledPoint",
+    "memory_constrained_n",
+    "scaled_speedup_curve",
+    "TimingSample",
+    "calibrate",
+    "fit_machine_params",
+    "predict",
+    "speedup",
+    "efficiency",
+    "total_overhead",
+    "k_factor",
+    "efficiency_from_overhead",
+    "isoefficiency",
+    "isoefficiency_terms",
+    "isoefficiency_curve",
+    "IsoefficiencyCurve",
+    "fit_growth_exponent",
+    "equal_overhead_n",
+    "cannon_gk_closed_form",
+    "gk_cannon_tw_cutoff",
+    "dns_beats_gk_max_procs",
+    "crossover_curve",
+    "LETTER_OF",
+    "RegionMap",
+    "best_algorithm",
+    "region_map",
+    "Selection",
+    "select",
+    "select_and_run",
+    "faster_processors",
+    "work_growth_for_faster_processors",
+    "work_growth_for_more_processors",
+    "FleetComparison",
+    "compare_fleets",
+]

@@ -1,0 +1,52 @@
+"""Scalar performance metrics — the Section 2 definitions.
+
+Thin, well-tested helpers used by both the analytic layer and the
+experiment harness when reducing *measured* (simulated) times.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "total_overhead",
+    "k_factor",
+    "efficiency_from_overhead",
+]
+
+
+def speedup(work: float, parallel_time: float) -> float:
+    """``S = W / T_p``."""
+    if parallel_time <= 0:
+        raise ValueError("parallel time must be positive")
+    return work / parallel_time
+
+
+def efficiency(work: float, parallel_time: float, p: int) -> float:
+    """``E = S / p = W / (p * T_p)``."""
+    if p <= 0:
+        raise ValueError("p must be positive")
+    return speedup(work, parallel_time) / p
+
+
+def total_overhead(work: float, parallel_time: float, p: int) -> float:
+    """``T_o = p * T_p - W``: the sum of all non-useful processor time."""
+    if p <= 0:
+        raise ValueError("p must be positive")
+    return p * parallel_time - work
+
+
+def k_factor(e: float) -> float:
+    """``K = E / (1 - E)`` — the constant of the isoefficiency relation (Eq. 1)."""
+    if not 0.0 < e < 1.0:
+        raise ValueError(f"efficiency must be in (0, 1), got {e}")
+    return e / (1.0 - e)
+
+
+def efficiency_from_overhead(work: float, overhead: float) -> float:
+    """``E = 1 / (1 + T_o/W)`` (Section 3)."""
+    if work <= 0:
+        raise ValueError("work must be positive")
+    if overhead < 0:
+        raise ValueError("overhead must be non-negative")
+    return 1.0 / (1.0 + overhead / work)

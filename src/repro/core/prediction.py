@@ -1,0 +1,128 @@
+"""Calibration and performance prediction — the Section 3 workflow.
+
+"By performing isoefficiency analysis, one can test the performance of a
+parallel program on a few processors, and then predict its performance
+on a larger number of processors."  This module operationalizes that:
+
+1. run (or measure) the algorithm on a few small configurations,
+2. :func:`fit_machine_params` recovers the effective ``(ts, tw)`` by
+   linear least squares — every model's communication time is linear in
+   ``ts`` and ``tw``, so the design matrix is exact, not approximate,
+3. :func:`predict` extrapolates ``T_p``/efficiency to any larger
+   machine, and :func:`calibrate` wraps the whole loop around the
+   simulator.
+
+This is also how Section 9 relates the CM-5 experiments to the model:
+the constants plugged into Eq. 18 are *measured* per-program values
+("these values do not necessarily reflect the communication speed of the
+hardware but the overheads observed for our implementation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.machine import MachineParams
+from repro.core.models import MODELS, AlgorithmModel
+
+__all__ = ["TimingSample", "fit_machine_params", "predict", "calibrate"]
+
+
+@dataclass(frozen=True)
+class TimingSample:
+    """One measured configuration: ``T_p`` for an ``n x n`` product on *p* PEs."""
+
+    n: int
+    p: int
+    parallel_time: float
+
+
+def _comm_basis(model: AlgorithmModel, n: float, p: float) -> tuple[float, float]:
+    """Coefficients ``(alpha, beta)`` with ``comm = alpha*ts + beta*tw``.
+
+    All the paper's communication expressions are linear in the machine
+    constants, so evaluating at the unit vectors recovers them exactly.
+    """
+    alpha = model.comm_time(n, p, MachineParams(ts=1.0, tw=0.0))
+    beta = model.comm_time(n, p, MachineParams(ts=0.0, tw=1.0))
+    return alpha, beta
+
+
+def fit_machine_params(
+    model: AlgorithmModel | str,
+    samples: Sequence[TimingSample],
+) -> MachineParams:
+    """Least-squares ``(ts, tw)`` explaining the measured parallel times.
+
+    Subtracts the known compute component ``n^3/p`` and regresses the
+    remainder on the model's ``ts``/``tw`` coefficients.  Needs at least
+    two samples whose coefficient vectors are independent (e.g. two
+    different ``(n, p)`` shapes).  Estimates are clipped at zero.
+    """
+    m = MODELS[model] if isinstance(model, str) else model
+    if len(samples) < 2:
+        raise ValueError("need at least two timing samples")
+    rows = []
+    rhs = []
+    for s in samples:
+        alpha, beta = _comm_basis(m, s.n, s.p)
+        rows.append((alpha, beta))
+        rhs.append(s.parallel_time - m.compute_time(s.n, s.p))
+    design = np.asarray(rows, dtype=float)
+    target = np.asarray(rhs, dtype=float)
+    if np.linalg.matrix_rank(design) < 2:
+        raise ValueError(
+            "samples do not separate ts from tw; vary (n, p) so the "
+            "startup/bandwidth mix changes"
+        )
+    coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+    ts, tw = (max(float(c), 0.0) for c in coef)
+    return MachineParams(ts=ts, tw=tw, name="fitted")
+
+
+def predict(
+    model: AlgorithmModel | str,
+    n: float,
+    p: float,
+    machine: MachineParams,
+) -> dict[str, float]:
+    """Model prediction at ``(n, p)``: time, speedup, efficiency, overhead."""
+    m = MODELS[model] if isinstance(model, str) else model
+    t = m.time(n, p, machine)
+    return {
+        "parallel_time": t,
+        "speedup": n**3 / t,
+        "efficiency": n**3 / (p * t),
+        "overhead": m.overhead(n, p, machine),
+    }
+
+
+def calibrate(
+    key: str,
+    machine: MachineParams,
+    train: Sequence[tuple[int, int]],
+    *,
+    seed: int = 0,
+) -> MachineParams:
+    """Run the simulator on the *train* ``(n, p)`` list and fit ``(ts, tw)``.
+
+    The returned parameters are the *effective* constants of the
+    implementation on this machine — they absorb systematic differences
+    between the phase-summed model and the overlapped simulation, which
+    is exactly what makes the extrapolation accurate (and exactly what
+    the paper's own measured CM-5 constants did).
+    """
+    from repro.algorithms import registry
+
+    rng = np.random.default_rng(seed)
+    samples = []
+    for n, p in train:
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        res = registry.run(key, A, B, p, machine)
+        samples.append(TimingSample(n=n, p=p, parallel_time=res.parallel_time))
+    entry = registry.get(key)
+    return fit_machine_params(entry.model_key, samples)

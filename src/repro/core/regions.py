@@ -1,0 +1,124 @@
+"""Regions of superiority over the (n, p) plane — paper Section 6, Figures 1-3.
+
+For a given machine, every point of the ``(p, n)`` plane is labelled with
+the algorithm of least total overhead among those applicable there,
+using the paper's letters:
+
+* ``a`` — GK, ``b`` — Berntsen, ``c`` — Cannon, ``d`` — DNS,
+* ``x`` — ``p > n^3``: no algorithm applicable.
+
+Figures 1-3 are these maps for the machines
+:data:`~repro.core.machine.NCUBE2_LIKE` (``ts=150``),
+:data:`~repro.core.machine.FUTURE_MIMD` (``ts=10``), and
+:data:`~repro.core.machine.SIMD_CM2_LIKE` (``ts=0.5``), all at ``tw=3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.machine import MachineParams
+from repro.core.models import COMPARISON_MODELS, MODELS
+
+__all__ = [
+    "LETTER_OF",
+    "best_algorithm",
+    "RegionMap",
+    "region_map",
+]
+
+#: The paper's region letters (Figures 1-3).
+LETTER_OF: dict[str, str] = {
+    "gk": "a",
+    "berntsen": "b",
+    "cannon": "c",
+    "dns": "d",
+}
+
+
+def best_algorithm(
+    n: float,
+    p: float,
+    machine: MachineParams,
+    model_keys: tuple[str, ...] = COMPARISON_MODELS,
+) -> str:
+    """Key of the least-overhead applicable algorithm at ``(n, p)``, or ``"x"``.
+
+    Overheads are compared as in Section 6 (equal compute time makes
+    minimizing ``T_o`` the same as minimizing ``T_p``); the Table 1
+    applicability ranges are enforced, so a model with a mathematically
+    smaller overhead does not win where it cannot run.
+    """
+    best_key, best_to = "x", float("inf")
+    for key in model_keys:
+        model = MODELS[key]
+        if not model.applicable(n, p):
+            continue
+        to = model.overhead(n, p, machine)
+        if to < best_to:
+            best_key, best_to = key, to
+    return best_key
+
+
+@dataclass(frozen=True)
+class RegionMap:
+    """A sampled region-of-superiority map (one of Figures 1-3)."""
+
+    machine: MachineParams
+    p_values: tuple[float, ...]
+    n_values: tuple[float, ...]
+    cells: tuple[tuple[str, ...], ...]
+    """``cells[i][j]``: winning key at ``n = n_values[i]``, ``p = p_values[j]``."""
+
+    def letter_grid(self) -> list[list[str]]:
+        """The map as the paper's single-letter labels."""
+        return [[LETTER_OF.get(c, "x") for c in row] for row in self.cells]
+
+    def fraction(self, key: str) -> float:
+        """Fraction of sampled cells won by *key*."""
+        flat = [c for row in self.cells for c in row]
+        return flat.count(key) / len(flat)
+
+    def winners(self) -> set[str]:
+        """All keys that win at least one cell."""
+        return {c for row in self.cells for c in row}
+
+    def render(self) -> str:
+        """ASCII rendering, n increasing upward, p increasing rightward."""
+        header = (
+            f"machine: ts={self.machine.ts}, tw={self.machine.tw}  "
+            f"(a=GK  b=Berntsen  c=Cannon  d=DNS  x=infeasible)"
+        )
+        lines = [header]
+        for i in range(len(self.n_values) - 1, -1, -1):
+            label = f"n=2^{int(np.log2(self.n_values[i])):<3d}|"
+            lines.append(label + "".join(LETTER_OF.get(c, "x") for c in self.cells[i]))
+        lo = int(np.log2(self.p_values[0]))
+        hi = int(np.log2(self.p_values[-1]))
+        lines.append(" " * 8 + f"p=2^{lo} .. 2^{hi} ({len(self.p_values)} columns)")
+        return "\n".join(lines)
+
+
+def region_map(
+    machine: MachineParams,
+    *,
+    log2_p_max: int = 30,
+    log2_n_max: int = 16,
+    p_step: int = 1,
+    n_step: int = 1,
+    model_keys: tuple[str, ...] = COMPARISON_MODELS,
+) -> RegionMap:
+    """Compute a region map over a log-spaced ``(p, n)`` grid.
+
+    Defaults cover the ranges plotted in the paper's Figures 1-3
+    (processors up to ~``2^30``, matrices up to ``2^16``).
+    """
+    p_values = tuple(float(2**k) for k in range(0, log2_p_max + 1, p_step))
+    n_values = tuple(float(2**k) for k in range(0, log2_n_max + 1, n_step))
+    cells = tuple(
+        tuple(best_algorithm(n, p, machine, model_keys) for p in p_values)
+        for n in n_values
+    )
+    return RegionMap(machine=machine, p_values=p_values, n_values=n_values, cells=cells)

@@ -1,0 +1,115 @@
+"""Memory-constrained (scaled-speedup) analysis.
+
+The isoefficiency function says how fast the problem *must* grow to hold
+efficiency; real machines also bound how fast the problem *can* grow —
+each processor has a fixed memory.  Following the scaled-speedup
+tradition the paper draws on (Gustafson et al.; Worley's time-constrained
+variant is reference [40]), this module combines the Section 4 memory
+models with the execution-time models to answer: *if every processor has
+``M`` words, what is the largest solvable problem on p processors, and
+what efficiency does each algorithm deliver there?*
+
+The punchline mirrors Table 1: under memory-constrained scaling the
+largest-problem growth for a memory-efficient algorithm (Cannon,
+``n^2 = M p / 3``) is ``W ∝ p^{1.5}`` — exactly its isoefficiency — so
+its efficiency approaches a constant, while the memory-inefficient
+formulations (simple, GK) can use less of the machine's aggregate memory
+and their achievable efficiency behaves accordingly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.machine import MachineParams
+from repro.core.memory import MEMORY_MODELS
+from repro.core.models import MODELS
+
+__all__ = [
+    "memory_constrained_n",
+    "ScaledPoint",
+    "scaled_speedup_curve",
+]
+
+
+def memory_constrained_n(key: str, p: float, words_per_processor: float) -> float:
+    """Largest matrix order fitting *words_per_processor* per PE for algorithm *key*.
+
+    Solves ``memory_per_processor(n, p) == words_per_processor`` for *n*
+    (all the Section 4 memory models are ``c(p) * n^2`` plus at most a
+    constant, so the solution is closed-form via bisection-free scaling),
+    then clamps to the concurrency range of the execution-time model.
+    """
+    if words_per_processor <= 0:
+        raise ValueError("memory budget must be positive")
+    mem = MEMORY_MODELS[key]
+    # memory models scale as n^2 at fixed p: invert by ratio
+    probe = mem.words_per_processor(1024.0, p)
+    if probe <= 0:
+        return math.inf
+    n = 1024.0 * math.sqrt(words_per_processor / probe)
+    model = MODELS.get(key)
+    if model is not None:
+        # cannot use more processors than the concurrency limit allows
+        n = max(n, _min_n_for_p(key, p))
+    return n
+
+
+def _min_n_for_p(key: str, p: float) -> float:
+    """Smallest n with ``p <= max_procs(n)`` for the execution-time model."""
+    model = MODELS[key]
+    lo, hi = 1.0, 1e12
+    if model.max_procs(hi) < p:
+        return math.inf
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)
+        if model.max_procs(mid) >= p:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@dataclass(frozen=True)
+class ScaledPoint:
+    """One point of a memory-constrained scaling curve."""
+
+    key: str
+    p: float
+    n: float
+    work: float
+    efficiency: float
+    scaled_speedup: float
+    memory_feasible: bool
+    """False when the concurrency floor exceeds the memory budget
+    (the algorithm cannot even hold the smallest problem that keeps all
+    processors busy)."""
+
+
+def scaled_speedup_curve(
+    key: str,
+    machine: MachineParams,
+    words_per_processor: float,
+    p_values,
+) -> list[ScaledPoint]:
+    """Largest-fitting-problem efficiency/speedup over a processor sweep."""
+    mem = MEMORY_MODELS[key]
+    model = MODELS[key]
+    out = []
+    for p in p_values:
+        n = memory_constrained_n(key, float(p), words_per_processor)
+        feasible = mem.words_per_processor(n, p) <= words_per_processor * (1 + 1e-9)
+        e = model.efficiency(n, p, machine)
+        out.append(
+            ScaledPoint(
+                key=key,
+                p=float(p),
+                n=n,
+                work=n**3,
+                efficiency=e,
+                scaled_speedup=e * p,
+                memory_feasible=feasible,
+            )
+        )
+    return out

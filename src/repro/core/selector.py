@@ -1,0 +1,99 @@
+"""The "smart preprocessor" of Section 10.
+
+The paper's conclusion: no algorithm dominates, so keep all of them in a
+library and let a preprocessor pick by machine parameters, processor
+count, and matrix size.  :func:`select` is that preprocessor — it ranks
+the analytic models by predicted ``T_p`` subject to applicability, and
+:func:`select_and_run` executes the winner on the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.machine import MachineParams
+from repro.core.models import COMPARISON_MODELS, MODELS
+
+
+def _registry():
+    # imported lazily: repro.algorithms is built on top of repro.core, so a
+    # module-level import here would be circular
+    from repro.algorithms import registry
+
+    return registry
+
+__all__ = ["Selection", "select", "select_and_run"]
+
+
+@dataclass(frozen=True)
+class Selection:
+    """Outcome of the model-driven algorithm choice."""
+
+    key: str
+    predicted_time: float
+    predicted_efficiency: float
+    ranking: tuple[tuple[str, float], ...]
+    """All applicable algorithms with predicted times, best first."""
+
+    feasible_exact: bool
+    """Whether the chosen implementation can run this exact (n, p)
+    (divisibility/power-of-two constraints of the hypercube embedding)."""
+
+
+def select(
+    n: int,
+    p: int,
+    machine: MachineParams,
+    *,
+    model_keys: tuple[str, ...] = COMPARISON_MODELS,
+    require_feasible: bool = False,
+) -> Selection:
+    """Choose the best algorithm for an ``n x n`` product on *p* processors.
+
+    With ``require_feasible`` the choice is restricted to implementations
+    whose exact embedding constraints hold for this ``(n, p)``; otherwise
+    the continuous Table 1 applicability is used (the paper's Section 6
+    comparison) and ``feasible_exact`` reports whether the winner can run
+    as-is.
+    """
+    candidates: list[tuple[str, float]] = []
+    for key in model_keys:
+        model = MODELS[key]
+        if not model.applicable(n, p):
+            continue
+        if require_feasible and not _registry().get(key).feasible(n, p):
+            continue
+        candidates.append((key, model.time(n, p, machine)))
+    if not candidates:
+        raise ValueError(
+            f"no algorithm applicable at (n={n}, p={p})"
+            + (" with exact feasibility" if require_feasible else "")
+        )
+    candidates.sort(key=lambda kv: kv[1])
+    best_key, best_time = candidates[0]
+    return Selection(
+        key=best_key,
+        predicted_time=best_time,
+        predicted_efficiency=n**3 / (p * best_time),
+        ranking=tuple(candidates),
+        feasible_exact=_registry().get(best_key).feasible(n, p),
+    )
+
+
+def select_and_run(
+    A: np.ndarray,
+    B: np.ndarray,
+    p: int,
+    machine: MachineParams,
+    **kw,
+):
+    """Pick the best *runnable* algorithm and execute it on the simulator.
+
+    Returns ``(selection, result)``.
+    """
+    n = A.shape[0]
+    selection = select(n, p, machine, require_feasible=True)
+    result = _registry().run(selection.key, A, B, p, machine, **kw)
+    return selection, result

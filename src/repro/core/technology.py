@@ -1,0 +1,131 @@
+"""Technology-dependent scalability — paper Section 8.
+
+Because ``ts`` and ``tw`` are *relative* costs (normalized by the basic
+operation time), replacing the processors by k-fold faster ones
+multiplies both by *k*.  The ``tw^3`` multiplier in the matrix-
+multiplication isoefficiency functions then inflates the required
+problem size by ``k^3`` — so, counter to the conventional
+fewer-but-faster wisdom, a machine with k-fold *as many* processors can
+need a far smaller problem to stay efficient than one with k-fold
+*faster* processors, and can even finish a fixed problem sooner in wall
+clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.isoefficiency import isoefficiency
+from repro.core.machine import MachineParams
+from repro.core.models import MODELS, AlgorithmModel
+
+__all__ = [
+    "faster_processors",
+    "work_growth_for_faster_processors",
+    "work_growth_for_more_processors",
+    "FleetComparison",
+    "compare_fleets",
+]
+
+
+def faster_processors(machine: MachineParams, k: float) -> MachineParams:
+    """The machine with k-fold faster CPUs and the *same* network.
+
+    Normalized communication costs scale up by *k* while the wall-clock
+    unit time scales down by *k*.
+    """
+    if k <= 0:
+        raise ValueError("speedup factor must be positive")
+    return machine.with_(
+        ts=machine.ts * k,
+        tw=machine.tw * k,
+        unit_time=machine.unit_time / k,
+        name=f"{machine.name or 'machine'}-x{k:g}",
+    )
+
+
+def work_growth_for_faster_processors(
+    model: AlgorithmModel | str,
+    machine: MachineParams,
+    p: float,
+    k: float,
+    efficiency: float = 0.5,
+) -> float:
+    """``W`` growth needed to hold efficiency when CPUs get k-fold faster.
+
+    Section 8: for ``tw``-dominated regimes (small ``ts``, e.g. SIMD
+    machines) this approaches ``k^3`` — ten-fold faster processors
+    require a *thousand-fold* larger problem.
+    """
+    m = MODELS[model] if isinstance(model, str) else model
+    w0 = isoefficiency(m, p, machine, efficiency)
+    w1 = isoefficiency(m, p, faster_processors(machine, k), efficiency)
+    return w1 / w0
+
+
+def work_growth_for_more_processors(
+    model: AlgorithmModel | str,
+    machine: MachineParams,
+    p: float,
+    k: float,
+    efficiency: float = 0.5,
+) -> float:
+    """``W`` growth needed to hold efficiency when *p* grows k-fold.
+
+    Section 8's example: Cannon with ten-fold more processors needs a
+    ``10^1.5 = 31.6``-fold larger problem.
+    """
+    m = MODELS[model] if isinstance(model, str) else model
+    w0 = isoefficiency(m, p, machine, efficiency)
+    w1 = isoefficiency(m, k * p, machine, efficiency)
+    return w1 / w0
+
+
+@dataclass(frozen=True)
+class FleetComparison:
+    """Wall-clock comparison of many-slow vs few-fast for a fixed problem."""
+
+    n: int
+    p: float
+    k: float
+    seconds_many_slow: float
+    """k*p processors of unit speed."""
+
+    seconds_few_fast: float
+    """p processors, each k-fold as fast."""
+
+    @property
+    def many_slow_wins(self) -> bool:
+        return self.seconds_many_slow < self.seconds_few_fast
+
+    @property
+    def ratio(self) -> float:
+        """few-fast time over many-slow time (> 1 means many-slow wins)."""
+        return self.seconds_few_fast / self.seconds_many_slow
+
+
+def compare_fleets(
+    model: AlgorithmModel | str,
+    n: int,
+    p: float,
+    k: float,
+    machine: MachineParams,
+) -> FleetComparison:
+    """Solve an ``n x n`` problem on (k*p, speed 1) vs (p, speed k) machines.
+
+    Both fleets share the interconnect parameters of *machine* (in
+    absolute terms); only CPU speed and processor count differ.  Returns
+    wall-clock seconds for each.
+    """
+    m = MODELS[model] if isinstance(model, str) else model
+    if not m.applicable(n, k * p):
+        raise ValueError(f"{m.key} not applicable at (n={n}, p={k * p})")
+    if not m.applicable(n, p):
+        raise ValueError(f"{m.key} not applicable at (n={n}, p={p})")
+    fast = faster_processors(machine, k)
+    t_many = m.time(n, k * p, machine) * machine.unit_time
+    t_few = m.time(n, p, fast) * fast.unit_time
+    return FleetComparison(
+        n=n, p=p, k=k, seconds_many_slow=t_many, seconds_few_fast=t_few
+    )

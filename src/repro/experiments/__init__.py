@@ -1,0 +1,33 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module exposes ``run(...)`` returning structured rows/results and a
+``format_text`` rendering them; ``python -m repro.experiments <name>``
+runs one from the command line.  The experiment index lives in
+DESIGN.md; paper-vs-measured numbers are recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments import (
+    allport,
+    architectures,
+    broadcast_study,
+    figures45,
+    figures123,
+    scaling,
+    section6,
+    table1,
+    technology,
+    validation,
+)
+
+__all__ = [
+    "architectures",
+    "broadcast_study",
+    "scaling",
+    "table1",
+    "figures123",
+    "figures45",
+    "section6",
+    "allport",
+    "technology",
+    "validation",
+]

@@ -1,0 +1,82 @@
+"""Command-line entry point: ``python -m repro.experiments <experiment>``.
+
+Experiments: table1, fig1, fig2, fig3, fig4, fig5, sec6, sec7, sec8,
+validation, all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    allport,
+    architectures,
+    broadcast_study,
+    figures45,
+    figures123,
+    scaling,
+    section6,
+    table1,
+    technology,
+    validation,
+)
+
+_EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "sec6", "sec7", "sec8", "validation", "scaling", "broadcast", "arch")
+
+
+def run_one(name: str, fast: bool = False) -> str:
+    """Run one experiment and return its text report."""
+    if name == "table1":
+        return table1.format_text(table1.run())
+    if name in ("fig1", "fig2", "fig3"):
+        step = 2 if fast else 1
+        return figures123.format_text(figures123.run(name, p_step=step, n_step=step))
+    if name == "fig4":
+        sizes = (16, 48, 96, 144) if fast else figures45._FIG4_SIZES
+        return figures45.format_text(figures45.run_fig4(sizes=sizes))
+    if name == "fig5":
+        sizes = (66, 132, 264, 352) if fast else figures45._FIG5_SIZES
+        return figures45.format_text(figures45.run_fig5(sizes=sizes))
+    if name == "sec6":
+        return section6.format_text(section6.run())
+    if name == "sec7":
+        return allport.format_text(allport.run())
+    if name == "sec8":
+        return technology.format_text(technology.run())
+    if name == "validation":
+        return validation.format_text(validation.run())
+    if name == "scaling":
+        return scaling.format_text(scaling.run())
+    if name == "arch":
+        return architectures.format_text(architectures.run())
+    if name == "broadcast":
+        m_values = (32, 512, 8192) if fast else (8, 32, 128, 512, 2048, 8192, 32768)
+        return broadcast_study.format_text(broadcast_study.run(m_values=m_values))
+    raise ValueError(f"unknown experiment {name!r}; known: {', '.join(_EXPERIMENTS)}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=(*_EXPERIMENTS, "all"))
+    parser.add_argument("--fast", action="store_true", help="coarser grids / fewer sizes")
+    parser.add_argument("--out", type=str, default=None, help="write the report to a file")
+    args = parser.parse_args(argv)
+
+    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    chunks = []
+    for name in names:
+        chunks.append(f"==== {name} ====\n{run_one(name, fast=args.fast)}\n")
+    report = "\n".join(chunks)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Minimal ASCII line plots for terminal-rendered figures.
+
+The paper's Figures 4 and 5 are efficiency-vs-matrix-size line charts;
+this module renders such series as fixed-size character grids so the
+experiment reports are self-contained in a terminal (no plotting
+dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*o+x#@"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    t = (value - lo) / (hi - lo)
+    return min(int(t * cells), cells - 1)
+
+
+def ascii_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    logx: bool = False,
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Render named ``(x, y)`` series on one character grid.
+
+    Each series gets a marker from ``* o + x # @`` (in insertion order);
+    collisions render the *later* series' marker.  Returns a multi-line
+    string with a legend, y-axis ticks, and an x-range footer.
+    """
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        return "(no data)"
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    fx = (lambda v: math.log10(v)) if logx else (lambda v: v)
+    x_lo, x_hi = min(fx(x) for x in xs), max(fx(x) for x in xs)
+    if y_range is not None:
+        y_lo, y_hi = y_range
+    else:
+        y_lo, y_hi = min(ys), max(ys)
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            col = _scale(fx(x), x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = marker
+
+    lines = []
+    legend = "  ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(f"{y_label} vs {x_label}    [{legend}]")
+    for r, row in enumerate(grid):
+        if r == 0:
+            tick = f"{y_hi:8.3g} |"
+        elif r == height - 1:
+            tick = f"{y_lo:8.3g} |"
+        else:
+            tick = " " * 8 + " |"
+        lines.append(tick + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_lo_txt = f"{10**x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    x_hi_txt = f"{10**x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    lines.append(" " * 10 + f"{x_label}: {x_lo_txt} .. {x_hi_txt}" + ("  (log scale)" if logx else ""))
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Experiments ``fig1``/``fig2``/``fig3`` — the region maps of Section 6.
+
+Each figure is the ``(p, n)`` plane labelled with the best algorithm for
+one machine regime:
+
+* Figure 1 — ``tw=3, ts=150`` (nCUBE2-like),
+* Figure 2 — ``tw=3, ts=10`` (near-future MIMD),
+* Figure 3 — ``tw=3, ts=0.5`` (SIMD, CM-2-like),
+
+plus the pairwise equal-overhead curves that delimit the regions.  The
+paper's qualitative findings per figure, checked by the test-suite:
+
+* Fig 1: Berntsen wins everywhere below ``p = n^{3/2}``; GK wins
+  essentially everywhere above it; DNS has no practical region.
+* Fig 2: *all four* regions a, b, c, d are present at practical sizes.
+* Fig 3: DNS best for ``n^2 <= p <= n^3``, Cannon for
+  ``n^{3/2} <= p <= n^2``, Berntsen below ``n^{3/2}``; GK only wins at
+  impractically large *p* (the paper quotes ``p > 1.3e8``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.crossover import crossover_curve
+from repro.core.machine import FUTURE_MIMD, NCUBE2_LIKE, SIMD_CM2_LIKE, MachineParams
+from repro.core.regions import RegionMap, region_map
+
+__all__ = ["FIGURE_MACHINES", "FigureResult", "run", "format_text"]
+
+FIGURE_MACHINES: dict[str, MachineParams] = {
+    "fig1": NCUBE2_LIKE,
+    "fig2": FUTURE_MIMD,
+    "fig3": SIMD_CM2_LIKE,
+}
+
+#: The crossover curves drawn as "plain lines" in the figures.
+_CURVE_PAIRS = (("gk", "cannon"), ("gk", "berntsen"), ("cannon", "berntsen"), ("dns", "gk"))
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """One regenerated region-map figure."""
+
+    figure: str
+    machine: MachineParams
+    map: RegionMap
+    curves: dict[tuple[str, str], list[tuple[float, float | None]]]
+
+    def region_fractions(self) -> dict[str, float]:
+        return {k: self.map.fraction(k) for k in sorted(self.map.winners())}
+
+
+def run(
+    figure: str,
+    *,
+    log2_p_max: int = 30,
+    log2_n_max: int = 16,
+    p_step: int = 1,
+    n_step: int = 1,
+) -> FigureResult:
+    """Regenerate one of Figures 1-3 (``figure`` in ``{"fig1","fig2","fig3"}``)."""
+    if figure not in FIGURE_MACHINES:
+        raise ValueError(f"figure must be one of {sorted(FIGURE_MACHINES)}, got {figure!r}")
+    machine = FIGURE_MACHINES[figure]
+    rmap = region_map(
+        machine,
+        log2_p_max=log2_p_max,
+        log2_n_max=log2_n_max,
+        p_step=p_step,
+        n_step=n_step,
+    )
+    p_samples = [float(2**k) for k in range(2, log2_p_max + 1, max(p_step, 1) * 2)]
+    curves = {
+        pair: crossover_curve(pair[0], pair[1], machine, p_samples)
+        for pair in _CURVE_PAIRS
+    }
+    return FigureResult(figure=figure, machine=machine, map=rmap, curves=curves)
+
+
+def format_text(result: FigureResult) -> str:
+    lines = [
+        f"{result.figure}: regions of superiority "
+        f"(ts={result.machine.ts}, tw={result.machine.tw})",
+        "",
+        result.map.render(),
+        "",
+        "region fractions: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in result.region_fractions().items()),
+        "",
+        "equal-overhead curves n_EqualTo(p) (None = no crossover at that p):",
+    ]
+    for (a, b), pts in result.curves.items():
+        sample = ", ".join(
+            f"p=2^{int(float(p)).bit_length() - 1}:"
+            + (f"n={n:.3g}" if n is not None else "-")
+            for p, n in pts[:: max(len(pts) // 6, 1)]
+        )
+        lines.append(f"  {a} vs {b}: {sample}")
+    return "\n".join(lines)

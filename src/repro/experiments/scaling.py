@@ -1,0 +1,131 @@
+"""Experiment ``scaling`` — the isoefficiency premise, verified in simulation.
+
+Section 3 of the paper rests on two behaviours:
+
+1. **Fixed problem size**: as *p* grows, speedup saturates (overheads
+   grow and/or concurrency runs out) — so efficiency decays.
+2. **Isoefficiency scaling**: if the problem grows along the
+   isoefficiency function ``W(p)``, efficiency stays put — "one can test
+   the performance of a parallel program on a few processors, and then
+   predict its performance on a larger number of processors".
+
+Neither is a table or figure in the paper, but both are its working
+assumptions; this experiment demonstrates each with full discrete-event
+runs of Cannon's algorithm and the GK algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms import registry
+from repro.core.isoefficiency import isoefficiency
+from repro.core.machine import MachineParams
+from repro.core.models import MODELS
+from repro.experiments.report import format_table
+
+__all__ = ["speedup_curve", "isoefficiency_in_simulation", "run", "format_text"]
+
+#: round-number machine for the scaling demonstrations
+_MACHINE = MachineParams(ts=20.0, tw=1.0, name="scaling")
+
+
+def _round_feasible_n(key: str, n_target: float, p: int) -> int:
+    """Smallest feasible matrix size >= the isoefficiency target for (key, p)."""
+    n = max(int(math.ceil(n_target)), 1)
+    for cand in range(n, 4 * n + 2):
+        if registry.get(key).feasible(cand, p):
+            return cand
+    raise ValueError(f"no feasible n near {n_target} for {key} at p={p}")
+
+
+def speedup_curve(
+    key: str = "cannon",
+    n: int = 48,
+    p_values: tuple[int, ...] = (1, 4, 16, 64, 256),
+    machine: MachineParams = _MACHINE,
+    seed: int = 0,
+) -> list[dict]:
+    """Simulated speedup of a *fixed* problem over growing machines."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    expected = A @ B
+    rows = []
+    for p in p_values:
+        if not registry.get(key).feasible(n, p):
+            continue
+        res = registry.run(key, A, B, p, machine)
+        assert np.allclose(res.C, expected)
+        rows.append(
+            {
+                "algorithm": key,
+                "n": n,
+                "p": p,
+                "speedup_sim": res.speedup,
+                "efficiency_sim": res.efficiency,
+                "efficiency_model": MODELS[key].efficiency(n, p, machine),
+            }
+        )
+    return rows
+
+
+def isoefficiency_in_simulation(
+    key: str = "cannon",
+    efficiency: float = 0.5,
+    p_values: tuple[int, ...] = (4, 16, 64),
+    machine: MachineParams = _MACHINE,
+    seed: int = 0,
+) -> list[dict]:
+    """Grow the problem along ``W(p)`` and check the simulated efficiency holds.
+
+    The matrix size is the isoefficiency solution rounded up to the next
+    size the implementation accepts, so simulated efficiency should come
+    in at or slightly above the target (the models being upper bounds
+    pushes it higher still).
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for p in p_values:
+        w = isoefficiency(MODELS[key], p, machine, efficiency)
+        n = _round_feasible_n(key, w ** (1 / 3), p)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        res = registry.run(key, A, B, p, machine)
+        assert np.allclose(res.C, A @ B)
+        rows.append(
+            {
+                "algorithm": key,
+                "p": p,
+                "target_E": efficiency,
+                "n_iso": n,
+                "W": n**3,
+                "efficiency_sim": res.efficiency,
+                "efficiency_model": MODELS[key].efficiency(n, p, machine),
+            }
+        )
+    return rows
+
+
+def run(machine: MachineParams = _MACHINE) -> dict[str, list[dict]]:
+    return {
+        "fixed_size_cannon": speedup_curve("cannon", 48, machine=machine),
+        "fixed_size_gk": speedup_curve("gk", 48, p_values=(1, 8, 64, 512), machine=machine),
+        "iso_cannon": isoefficiency_in_simulation("cannon", 0.5, machine=machine),
+        "iso_gk": isoefficiency_in_simulation("gk", 0.5, p_values=(8, 64, 512), machine=machine),
+    }
+
+
+def format_text(results: dict[str, list[dict]]) -> str:
+    out = [
+        "Scaling behaviour (full simulations; Section 3's premises)",
+        "",
+        "1) fixed problem size: efficiency decays with p",
+        format_table(results["fixed_size_cannon"] + results["fixed_size_gk"]),
+        "",
+        "2) problem grown along the isoefficiency function: efficiency holds",
+        format_table(results["iso_cannon"] + results["iso_gk"]),
+    ]
+    return "\n".join(out)

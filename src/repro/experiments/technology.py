@@ -1,0 +1,81 @@
+"""Experiment ``sec8`` — technology-dependent scalability (Section 8).
+
+Regenerates the section's three quantitative claims:
+
+* Cannon with 10x more processors needs a ``10^1.5 = 31.6``-fold larger
+  problem for the same efficiency;
+* with small ``ts`` (SIMD regime), 10x faster processors at fixed *p*
+  need a ~1000-fold (``k^3``) larger problem;
+* consequently, for certain problem sizes a machine with k-fold as many
+  processors beats one with k-fold faster processors in wall clock —
+  contradicting the fewer-but-faster conventional wisdom.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import NCUBE2_LIKE, SIMD_CM2_LIKE, MachineParams
+from repro.core.technology import (
+    compare_fleets,
+    work_growth_for_faster_processors,
+    work_growth_for_more_processors,
+)
+from repro.experiments.report import format_table
+
+__all__ = ["run", "format_text"]
+
+
+def run(
+    machine: MachineParams = NCUBE2_LIKE,
+    simd_machine: MachineParams = SIMD_CM2_LIKE,
+) -> dict[str, list[dict]]:
+    growth_rows = [
+        {
+            "claim": "Cannon, 10x processors -> problem x31.6",
+            "paper_value": 31.6,
+            "measured": work_growth_for_more_processors("cannon", machine, 1024, 10),
+        },
+        {
+            "claim": "Cannon, 10x faster CPUs (small ts) -> problem x~1000",
+            "paper_value": 1000.0,
+            "measured": work_growth_for_faster_processors("cannon", simd_machine, 1024, 10),
+        },
+        {
+            "claim": "GK, 10x faster CPUs (small ts) -> problem x~1000 (tw^3 law)",
+            "paper_value": 1000.0,
+            "measured": work_growth_for_faster_processors(
+                "gk", simd_machine.with_(ts=0.0), 4096, 10
+            ),
+        },
+    ]
+
+    fleet_rows = []
+    for n, p, k in ((64, 64, 4), (256, 64, 4), (1024, 64, 4), (4096, 64, 4), (512, 16, 16), (8192, 256, 4)):
+        cmp_ = compare_fleets("cannon", n, p, k, machine)
+        fleet_rows.append(
+            {
+                "n": n,
+                "p_base": p,
+                "k": k,
+                "T_many_slow(s-units)": cmp_.seconds_many_slow,
+                "T_few_fast(s-units)": cmp_.seconds_few_fast,
+                "winner": "many-slow" if cmp_.many_slow_wins else "few-fast",
+            }
+        )
+    return {"growth": growth_rows, "fleets": fleet_rows}
+
+
+def format_text(results: dict[str, list[dict]]) -> str:
+    out = [
+        "Section 8 - technology-dependent factors",
+        "",
+        "problem-size growth required to hold efficiency:",
+        format_table(results["growth"]),
+        "",
+        "k*p unit-speed processors vs p processors k-fold as fast (Cannon, same network):",
+        format_table(results["fleets"]),
+        "",
+        "note: the winner flips with problem size - 'under certain conditions, it",
+        "may be better to have a parallel computer with k-fold as many processors",
+        "rather than one with the same number of processors, each k-fold as fast'.",
+    ]
+    return "\n".join(out)

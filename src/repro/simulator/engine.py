@@ -1,0 +1,345 @@
+"""Conservative discrete-event engine for SPMD programs.
+
+Each rank runs a Python generator that yields
+:mod:`~repro.simulator.request` objects.  The engine keeps one logical
+clock per rank, charges the machine's modeled costs
+(:class:`~repro.core.machine.MachineParams`), routes messages over a
+:class:`~repro.simulator.topology.Topology`, and resumes receivers with
+the transferred payloads.  Because programs are deterministic and sends
+never block on the receiver, a simple round-robin "run until blocked"
+schedule is confluent: the final clocks do not depend on the order ranks
+are stepped in.
+
+Timing model (Section 2 of the paper):
+
+* ``Compute(c)`` advances the local clock by ``c``.
+* ``Send`` occupies the sender for the injection time
+  ``ts + tw*nwords``; the message arrives at
+  ``send_start + machine.transfer_time(nwords, hops)``.
+* ``Recv`` completes at ``max(local clock, arrival time)``; the gap is
+  accounted as idle (receive-wait) time.
+* ``SendAll`` under ``machine.all_port`` occupies the sender for the
+  *maximum* individual injection time (simultaneous ports, Section 7);
+  otherwise injections serialize.
+* ``Barrier`` advances every clock to the global maximum.
+
+The engine reports :class:`SimResult`: per-rank stats, the parallel time
+``T_p = max_r finish_time(r)``, and derived speedup/efficiency/overhead
+given the serial work ``W``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from repro.core.machine import MachineParams
+from repro.simulator.errors import DeadlockError, ProgramError
+from repro.simulator.network import LinkReservations, route_path
+from repro.simulator.request import Barrier, Compute, Recv, Request, Send, SendAll
+from repro.simulator.topology import Topology
+from repro.simulator.trace import RankStats, Trace, TraceEvent
+
+__all__ = ["RankInfo", "SimResult", "Engine", "run_spmd"]
+
+
+@dataclass(frozen=True)
+class RankInfo:
+    """Immutable per-rank environment handed to each program."""
+
+    rank: int
+    nprocs: int
+    topology: Topology
+    machine: MachineParams
+
+
+Program = Generator[Request, Any, Any]
+ProgramFactory = Callable[[RankInfo], Program]
+
+
+@dataclass
+class SimResult:
+    """Outcome of one SPMD simulation."""
+
+    parallel_time: float
+    """``T_p``: the maximum finish time over all ranks, in basic-op units."""
+
+    stats: list[RankStats]
+    """Per-rank timing accounts."""
+
+    returns: list[Any]
+    """Each rank program's return value (its local result)."""
+
+    trace: Trace
+    """Event trace (empty unless tracing was enabled)."""
+
+    nprocs: int = 0
+
+    # -- derived metrics (Section 2) ---------------------------------------------
+
+    def speedup(self, serial_work: float) -> float:
+        """``S = W / T_p`` for the given serial work *W*."""
+        if self.parallel_time <= 0:
+            return float("inf") if serial_work > 0 else 0.0
+        return serial_work / self.parallel_time
+
+    def efficiency(self, serial_work: float) -> float:
+        """``E = S / p``."""
+        return self.speedup(serial_work) / self.nprocs
+
+    def total_overhead(self, serial_work: float) -> float:
+        """``T_o = p*T_p - W``: all non-useful time summed over processors."""
+        return self.nprocs * self.parallel_time - serial_work
+
+    @property
+    def total_compute_time(self) -> float:
+        return sum(s.compute_time for s in self.stats)
+
+    @property
+    def total_comm_time(self) -> float:
+        return sum(s.comm_time for s in self.stats)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages_sent for s in self.stats)
+
+    @property
+    def total_words(self) -> int:
+        return sum(s.words_sent for s in self.stats)
+
+
+class _RankState:
+    __slots__ = ("gen", "clock", "stats", "blocked_on", "done", "retval", "barrier_epoch", "send_value")
+
+    def __init__(self, gen: Program, rank: int):
+        self.gen = gen
+        self.clock = 0.0
+        self.stats = RankStats(rank=rank)
+        self.blocked_on: Recv | Barrier | None = None
+        self.done = False
+        self.retval: Any = None
+        self.barrier_epoch = 0
+        self.send_value: Any = None
+
+
+class Engine:
+    """Runs one SPMD program per rank to completion under the cost model."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        machine: MachineParams,
+        *,
+        trace: bool = False,
+        max_trace_events: int = 1_000_000,
+        link_contention: bool = False,
+    ):
+        self.topology = topology
+        self.machine = machine
+        self.trace = Trace(enabled=trace, max_events=max_trace_events)
+        #: when enabled, every message reserves its route's directed links
+        #: for the transfer duration and conflicting transfers serialize
+        #: (see repro.simulator.network); the paper's model assumes
+        #: conflict-free patterns, and this mode lets tests verify that.
+        self.link_contention = link_contention
+        self.links: LinkReservations | None = None
+        # mailboxes[(src, dst, tag)] -> FIFO of (arrival_time, payload, nwords)
+        self._mail: dict[tuple[int, int, int], deque] = {}
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self, factory: ProgramFactory | Iterable[ProgramFactory]) -> SimResult:
+        """Execute *factory(info)* on every rank and return the joint result.
+
+        *factory* may be a single callable applied to every rank or a
+        sequence with one callable per rank.
+        """
+        p = self.topology.size
+        if callable(factory):
+            factories = [factory] * p
+        else:
+            factories = list(factory)
+            if len(factories) != p:
+                raise ValueError(f"need {p} programs, got {len(factories)}")
+
+        states = [
+            _RankState(
+                f(RankInfo(rank=r, nprocs=p, topology=self.topology, machine=self.machine)),
+                r,
+            )
+            for r, f in enumerate(factories)
+        ]
+        self._mail.clear()
+        self.links = LinkReservations() if self.link_contention else None
+
+        pending = set(range(p))
+        while pending:
+            progressed = False
+            for r in sorted(pending):
+                if self._step_until_blocked(states, r):
+                    progressed = True
+                if states[r].done:
+                    pending.discard(r)
+            if pending and self._try_release_barrier(states):
+                progressed = True
+            if pending and not progressed:
+                raise DeadlockError(
+                    {
+                        r: repr(states[r].blocked_on)
+                        for r in pending
+                        if states[r].blocked_on is not None
+                    }
+                )
+
+        stats = [s.stats for s in states]
+        for s in states:
+            s.stats.finish_time = s.clock
+        t_p = max((s.clock for s in states), default=0.0)
+        return SimResult(
+            parallel_time=t_p,
+            stats=stats,
+            returns=[s.retval for s in states],
+            trace=self.trace,
+            nprocs=p,
+        )
+
+    # -- scheduling internals ---------------------------------------------------------
+
+    def _step_until_blocked(self, states: list[_RankState], r: int) -> bool:
+        """Advance rank *r* until it finishes or blocks; return True on any progress."""
+        st = states[r]
+        if st.done:
+            return False
+        progressed = False
+        while True:
+            if st.blocked_on is not None:
+                req = st.blocked_on
+                if isinstance(req, Barrier):
+                    return progressed  # engine-level release
+                assert isinstance(req, Recv)
+                if not self._recv_ready(req, r):
+                    return progressed
+                st.send_value = self._complete_recv(st, req, r)
+                st.blocked_on = None
+                progressed = True
+            try:
+                req = st.gen.send(st.send_value)
+            except StopIteration as stop:
+                st.done = True
+                st.retval = stop.value
+                return True
+            st.send_value = None
+            progressed = True
+            self._dispatch(states, st, r, req)
+            if st.blocked_on is not None and (
+                isinstance(st.blocked_on, Barrier) or not self._recv_ready(st.blocked_on, r)
+            ):
+                return progressed
+
+    def _dispatch(self, states: list[_RankState], st: _RankState, r: int, req: Request) -> None:
+        if isinstance(req, Compute):
+            start = st.clock
+            st.clock += req.cost
+            st.stats.compute_time += req.cost
+            self.trace.record(TraceEvent(r, start, st.clock, "compute", req.label))
+        elif isinstance(req, Send):
+            self._do_send(st, r, req, start_at=st.clock, advance=True)
+        elif isinstance(req, SendAll):
+            self._do_send_all(st, r, req)
+        elif isinstance(req, Recv):
+            st.blocked_on = req
+        elif isinstance(req, Barrier):
+            st.blocked_on = req
+        else:
+            raise ProgramError(f"rank {r} yielded unsupported request {req!r}")
+
+    def _do_send(self, st: _RankState, r: int, req: Send, *, start_at: float, advance: bool) -> float:
+        """Inject one message; return the sender-busy duration (incl. link stall)."""
+        if not 0 <= req.dst < self.topology.size:
+            raise ProgramError(f"rank {r} sent to invalid rank {req.dst}")
+        hops = self.topology.distance(r, req.dst)
+        duration = self.machine.transfer_time(req.nwords, hops)
+        stall = 0.0
+        if self.links is not None and r != req.dst:
+            path = route_path(self.topology, r, req.dst)
+            links = list(zip(path, path[1:]))
+            start = self.links.earliest_start(links, start_at, duration)
+            self.links.reserve(links, start, duration)
+            stall = start - start_at
+        busy = stall + self.machine.sender_busy_time(req.nwords)
+        arrival = start_at + stall + duration
+        self._mail.setdefault((r, req.dst, req.tag), deque()).append(
+            (arrival, req.data, req.nwords)
+        )
+        st.stats.messages_sent += 1
+        st.stats.words_sent += req.nwords
+        if advance:
+            st.stats.send_time += busy
+            self.trace.record(
+                TraceEvent(
+                    r, start_at, start_at + busy, "send",
+                    f"->{req.dst} {req.nwords}w", tag=req.tag,
+                )
+            )
+            st.clock = start_at + busy
+        return busy
+
+    def _do_send_all(self, st: _RankState, r: int, req: SendAll) -> None:
+        if not req.messages:
+            return
+        start = st.clock
+        if self.machine.all_port:
+            # all ports drive simultaneously; sender busy for the slowest port
+            busy = 0.0
+            for m in req.messages:
+                busy = max(busy, self._do_send(st, r, m, start_at=start, advance=False))
+            st.stats.send_time += busy
+            st.clock = start + busy
+            self.trace.record(
+                TraceEvent(r, start, st.clock, "send", f"all-port x{len(req.messages)}")
+            )
+        else:
+            for m in req.messages:
+                self._do_send(st, r, m, start_at=st.clock, advance=True)
+
+    def _recv_ready(self, req: Recv, r: int) -> bool:
+        q = self._mail.get((req.src, r, req.tag))
+        return bool(q)
+
+    def _complete_recv(self, st: _RankState, req: Recv, r: int) -> Any:
+        arrival, payload, nwords = self._mail[(req.src, r, req.tag)].popleft()
+        start = st.clock
+        if arrival > st.clock:
+            st.stats.recv_wait_time += arrival - st.clock
+            st.clock = arrival
+        self.trace.record(
+            TraceEvent(r, start, st.clock, "recv", f"<-{req.src} {nwords}w", tag=req.tag)
+        )
+        return payload
+
+    def _try_release_barrier(self, states: list[_RankState]) -> bool:
+        """Release a barrier once every unfinished rank is waiting on it."""
+        waiting = [s for s in states if not s.done]
+        if not waiting or not all(isinstance(s.blocked_on, Barrier) for s in waiting):
+            return False
+        t = max(s.clock for s in waiting)
+        for s in waiting:
+            if t > s.clock:
+                s.stats.barrier_wait_time += t - s.clock
+            self.trace.record(TraceEvent(s.stats.rank, s.clock, t, "barrier"))
+            s.clock = t
+            s.blocked_on = None
+            s.send_value = None
+        return True
+
+
+def run_spmd(
+    topology: Topology,
+    machine: MachineParams,
+    factory: ProgramFactory | Iterable[ProgramFactory],
+    *,
+    trace: bool = False,
+) -> SimResult:
+    """One-shot convenience wrapper around :class:`Engine`."""
+    return Engine(topology, machine, trace=trace).run(factory)

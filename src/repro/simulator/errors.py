@@ -1,0 +1,22 @@
+"""Exception types raised by the multicomputer simulator."""
+
+from __future__ import annotations
+
+__all__ = ["SimulationError", "DeadlockError", "ProgramError"]
+
+
+class SimulationError(Exception):
+    """Base class for simulator failures."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when every unfinished rank is blocked and no message can unblock any."""
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = blocked
+        detail = ", ".join(f"rank {r}: {w}" for r, w in sorted(blocked.items()))
+        super().__init__(f"simulation deadlocked; blocked ranks: {detail}")
+
+
+class ProgramError(SimulationError):
+    """Raised when a rank program yields a malformed request."""

@@ -1,0 +1,97 @@
+"""Request objects yielded by SPMD rank programs.
+
+A rank program is a Python generator.  It performs simulated work by
+yielding request objects to the :class:`~repro.simulator.engine.Engine`,
+which charges the modeled cost and (for :class:`Recv`) resumes the
+generator with the received payload:
+
+.. code-block:: python
+
+    def program(info):
+        yield Compute(flops)
+        yield Send(dst=1, data=block, nwords=block.size)
+        other = yield Recv(src=1)
+
+Sub-operations (collectives) are ordinary generator helpers used with
+``yield from``; see :mod:`repro.simulator.collectives`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Compute", "Send", "SendAll", "Recv", "Barrier", "Request"]
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Charge *cost* basic-operation units of local computation time."""
+
+    cost: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ValueError("compute cost must be non-negative")
+
+
+@dataclass(frozen=True)
+class Send:
+    """Send *data* (*nwords* words) to rank *dst*.
+
+    The send is non-blocking in the rendezvous sense but occupies the
+    sender for the injection time ``ts + tw*nwords``; the message becomes
+    available at the destination after the full transfer time for the
+    routed distance.
+    """
+
+    dst: int
+    data: Any
+    nwords: int
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nwords < 0:
+            raise ValueError("nwords must be non-negative")
+
+
+@dataclass(frozen=True)
+class SendAll:
+    """Send several messages "at once".
+
+    Under an all-port machine (``machine.all_port``) the sender is busy
+    only for the *longest* individual injection (all ports drive
+    simultaneously, Section 7 of the paper); on a one-port machine the
+    injections serialize and this is equivalent to consecutive
+    :class:`Send` requests.
+    """
+
+    messages: Sequence[Send] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        dsts = [m.dst for m in self.messages]
+        if len(set(dsts)) != len(dsts):
+            raise ValueError("SendAll messages must target distinct destinations")
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Block until a message from rank *src* with matching *tag* arrives.
+
+    The engine resumes the generator with the message payload; the local
+    clock advances to the message arrival time if it is later.
+    """
+
+    src: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Synchronize all ranks: every clock jumps to the global maximum."""
+
+    label: str = ""
+
+
+Request = Compute | Send | SendAll | Recv | Barrier

@@ -1,0 +1,71 @@
+"""Per-rank timing accounts and optional event traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RankStats", "TraceEvent", "Trace"]
+
+
+@dataclass
+class RankStats:
+    """Where one simulated processor's time went."""
+
+    rank: int
+    compute_time: float = 0.0
+    send_time: float = 0.0
+    recv_wait_time: float = 0.0
+    barrier_wait_time: float = 0.0
+    messages_sent: int = 0
+    words_sent: int = 0
+    finish_time: float = 0.0
+
+    @property
+    def comm_time(self) -> float:
+        """Total time attributable to communication and synchronization."""
+        return self.send_time + self.recv_wait_time + self.barrier_wait_time
+
+    @property
+    def busy_time(self) -> float:
+        return self.compute_time + self.send_time
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timed action of one rank."""
+
+    rank: int
+    start: float
+    end: float
+    kind: str  # "compute" | "send" | "recv" | "barrier"
+    detail: str = ""
+    tag: int = -1
+    """Message tag for send/recv events (-1 for non-message events).
+    Algorithms use distinct tags per communication phase, so grouping
+    traced time by tag attributes communication to algorithm stages."""
+
+
+@dataclass
+class Trace:
+    """A bounded event log.  Disabled (zero-cost) unless ``enabled`` is True."""
+
+    enabled: bool = False
+    max_events: int = 1_000_000
+    events: list[TraceEvent] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, event: TraceEvent) -> None:
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def for_rank(self, rank: int) -> list[TraceEvent]:
+        """Events of one rank, in order."""
+        return [e for e in self.events if e.rank == rank]
+
+    def by_kind(self, kind: str) -> list[TraceEvent]:
+        """Events of one kind, in order."""
+        return [e for e in self.events if e.kind == kind]

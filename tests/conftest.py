@@ -1,0 +1,30 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.machine import MachineParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def machine() -> MachineParams:
+    """A small, round-number machine so expected costs are easy to compute."""
+    return MachineParams(ts=10.0, tw=2.0, name="test")
+
+
+@pytest.fixture
+def zero_comm() -> MachineParams:
+    return MachineParams(ts=0.0, tw=0.0, name="zero")
+
+
+def rand_pair(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """A deterministic random matrix pair of order *n*."""
+    r = np.random.default_rng(seed)
+    return r.standard_normal((n, n)), r.standard_normal((n, n))

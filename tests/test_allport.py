@@ -1,0 +1,89 @@
+"""Tests for the all-port analysis (Section 7)."""
+
+import math
+
+import pytest
+
+from repro.core.allport import ALLPORT_MODELS, allport_summary
+from repro.core.isoefficiency import isoefficiency
+from repro.core.machine import NCUBE2_LIKE, MachineParams
+from repro.core.models import MODELS
+
+M = MachineParams(ts=10.0, tw=2.0)
+
+
+class TestSimpleAllPort:
+    def test_comm_cheaper_than_one_port(self):
+        ap, op = ALLPORT_MODELS["simple-allport"], MODELS["simple"]
+        n, p = 1024, 4096
+        assert ap.comm_time(n, p, M) < op.comm_time(n, p, M)
+
+    def test_message_size_bound(self):
+        ap = ALLPORT_MODELS["simple-allport"]
+        p = 1024
+        threshold = 0.5 * math.sqrt(p) * math.log2(p)
+        assert not ap.message_size_feasible(threshold - 1, p)
+        assert ap.message_size_feasible(threshold + 1, p)
+
+    def test_effective_isoefficiency_not_better(self):
+        # Section 7.1: the message-size bound W >= p^1.5 (log p)^3 / 8 grows
+        # *faster* than the one-port O(p^1.5) isoefficiency - the required
+        # problem-size ratio all-port/one-port rises with p and passes 1
+        ap, op = ALLPORT_MODELS["simple-allport"], MODELS["simple"]
+        ratios = []
+        for k in (8, 14, 20, 26):
+            p = 2.0**k
+            w_ap = isoefficiency(ap, p, NCUBE2_LIKE, 0.5)
+            w_op = isoefficiency(op, p, NCUBE2_LIKE, 0.5)
+            ratios.append(w_ap / w_op)
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 1.0
+
+    def test_bound_formula(self):
+        ap = ALLPORT_MODELS["simple-allport"]
+        p = 2.0**10
+        assert ap.concurrency_isoefficiency(p, M) == pytest.approx(p**1.5 * 1000 / 8)
+
+
+class TestGKAllPort:
+    def test_comm_cheaper_for_large_messages(self):
+        ap, op = ALLPORT_MODELS["gk-allport"], MODELS["gk"]
+        n, p = 4096, 512
+        assert ap.comm_time(n, p, M) < op.comm_time(n, p, M)
+
+    def test_effective_isoefficiency_matches_one_port(self):
+        # Section 7.2: the message bound gives O(p (log p)^3) - exactly the
+        # naive GK isoefficiency, so all-port does not help asymptotically
+        ap = ALLPORT_MODELS["gk-allport"]
+        ratios = []
+        for k in (10, 16, 22, 28):
+            p = 2.0**k
+            bound = ap.concurrency_isoefficiency(p, M)
+            one_port = isoefficiency(MODELS["gk"], p, NCUBE2_LIKE, 0.5)
+            ratios.append(one_port / bound)
+        # same asymptotic order: the ratio stays within a bounded band
+        assert max(ratios) / min(ratios) < 50
+
+
+class TestSummary:
+    def test_no_algorithm_improves(self):
+        rows = allport_summary()
+        assert len(rows) == 3
+        assert all(r["improves_scalability"] == "no" for r in rows)
+
+
+class TestSimulatorAllPortFlag:
+    def test_gk_allport_constant_factor_only(self):
+        # the simulator's all-port flag exists for ablations; for the
+        # point-to-point algorithms it changes nothing (Section 7: nearest
+        # neighbor communication gains only a constant factor)
+        import numpy as np
+
+        from conftest import rand_pair
+        from repro.algorithms.cannon import run_cannon
+
+        A, B = rand_pair(16, seed=1)
+        t1 = run_cannon(A, B, 16, M).parallel_time
+        t2 = run_cannon(A, B, 16, M.with_(all_port=True)).parallel_time
+        assert t1 == t2  # cannon never uses SendAll
+        assert np.allclose(run_cannon(A, B, 16, M.with_(all_port=True)).C, A @ B)

@@ -1,0 +1,41 @@
+"""Tests for the architectures experiment (mesh / hypercube / fully connected)."""
+
+import pytest
+
+from repro.core.machine import MachineParams
+from repro.experiments import architectures
+
+M = MachineParams(ts=20.0, tw=2.0)
+
+
+class TestArchitectures:
+    def test_cannon_invariant_under_cut_through(self):
+        """Section 4.4: Cannon performs the same on mesh and hypercube."""
+        rows = {r["topology"]: r for r in architectures.run(M, n=16, p=16)}
+        t_hc = rows["hypercube"]["T_cannon_ct"]
+        assert rows["mesh"]["T_cannon_ct"] == t_hc
+        assert rows["fully-connected"]["T_cannon_ct"] == t_hc
+
+    def test_simple_invariant_only_without_hop_costs(self):
+        rows = {r["topology"]: r for r in architectures.run(M, n=16, p=16)}
+        # under cut-through with th=0, hop counts are free everywhere...
+        # (mesh uses the ring all-gather: different algorithm realization,
+        # so only hypercube and fully-connected are directly comparable)
+        assert rows["hypercube"]["T_simple_ct"] == rows["fully-connected"]["T_simple_ct"]
+
+    def test_store_and_forward_penalizes_mesh_multi_hop(self):
+        rows = {r["topology"]: r for r in architectures.run(M, n=16, p=16)}
+        # sf makes multi-hop transfers cost per hop: the mesh's ring
+        # all-gather stays single-hop, but the hypercube's recursive
+        # doubling on row-major-embedded... rather: compare each topology's
+        # sf time against its own ct time
+        for name, row in rows.items():
+            assert row["T_simple_sf"] >= row["T_simple_ct"]
+            assert row["T_cannon_sf"] >= row["T_cannon_ct"]
+        # Cannon's sf penalty is only the per-hop term on single-hop rolls
+        hc = rows["hypercube"]
+        assert hc["T_cannon_sf"] - hc["T_cannon_ct"] < 0.1 * hc["T_cannon_ct"]
+
+    def test_format(self):
+        text = architectures.format_text(architectures.run(M, n=16, p=16))
+        assert "Architectures study" in text and "mesh" in text

@@ -1,0 +1,41 @@
+"""Tests for the ASCII plot helper."""
+
+from repro.experiments.asciiplot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert ascii_plot({}) == "(no data)"
+        assert ascii_plot({"a": []}) == "(no data)"
+
+    def test_markers_and_legend(self):
+        text = ascii_plot({"one": [(0, 0), (1, 1)], "two": [(0, 1), (1, 0)]})
+        assert "* one" in text and "o two" in text
+        assert "*" in text and "o" in text
+
+    def test_extremes_placed_at_edges(self):
+        text = ascii_plot({"s": [(0.0, 0.0), (10.0, 1.0)]}, width=20, height=5)
+        lines = text.splitlines()
+        grid = [ln.split("|", 1)[1] for ln in lines[1:6]]
+        assert grid[0].rstrip().endswith("*")  # max y at top-right
+        assert grid[-1].lstrip("| ").startswith("*")  # min y at bottom-left
+
+    def test_y_range_override(self):
+        text = ascii_plot({"s": [(0, 0.4), (1, 0.6)]}, y_range=(0.0, 1.0))
+        assert "       1 |" in text
+        assert "       0 |" in text
+
+    def test_log_x(self):
+        text = ascii_plot({"s": [(1, 0), (10, 1), (100, 2)]}, logx=True)
+        assert "(log scale)" in text
+
+    def test_flat_series(self):
+        text = ascii_plot({"s": [(0, 5.0), (1, 5.0)]})
+        assert "*" in text  # no division-by-zero on constant y
+
+    def test_dimensions(self):
+        text = ascii_plot({"s": [(0, 0), (1, 1)]}, width=30, height=7)
+        lines = text.splitlines()
+        # 1 legend + 7 rows + axis + footer
+        assert len(lines) == 10
+        assert all(len(ln.split("|", 1)[1]) == 30 for ln in lines[1:8])

@@ -1,0 +1,93 @@
+"""Tests for Berntsen's algorithm (Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from conftest import rand_pair
+from repro.algorithms.berntsen import berntsen_max_procs, run_berntsen
+from repro.core.machine import MachineParams
+from repro.core.models import MODELS
+
+MACHINE = MachineParams(ts=10.0, tw=2.0)
+
+
+class TestMaxProcs:
+    def test_values(self):
+        assert berntsen_max_procs(4) == 8
+        assert berntsen_max_procs(16) == 64
+        assert berntsen_max_procs(64) == 512
+        assert berntsen_max_procs(3) == 1
+
+    def test_restriction_holds(self):
+        for n in (4, 9, 16, 33, 100):
+            p = berntsen_max_procs(n)
+            assert p**2 <= n**3 < (8 * p) ** 2
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,p", [(4, 8), (8, 8), (16, 64), (32, 64)])
+    def test_product_exact(self, n, p):
+        A, B = rand_pair(n, seed=n + p)
+        res = run_berntsen(A, B, p, MACHINE, enforce_concurrency_limit=False)
+        assert np.allclose(res.C, A @ B)
+
+    def test_uneven_blocks(self):
+        A, B = rand_pair(21, seed=4)
+        res = run_berntsen(A, B, 64, MACHINE, enforce_concurrency_limit=False)
+        assert np.allclose(res.C, A @ B)
+
+    def test_single_processor(self):
+        A, B = rand_pair(5, seed=1)
+        res = run_berntsen(A, B, 1, MACHINE)
+        assert np.allclose(res.C, A @ B)
+
+    def test_within_concurrency_limit(self):
+        A, B = rand_pair(16, seed=2)  # n^(3/2) = 64
+        res = run_berntsen(A, B, 64, MACHINE)
+        assert np.allclose(res.C, A @ B)
+
+
+class TestValidation:
+    def test_non_cube_p_rejected(self):
+        A, B = rand_pair(16, seed=0)
+        with pytest.raises(ValueError):
+            run_berntsen(A, B, 16, MACHINE)
+
+    def test_concurrency_limit_enforced(self):
+        A, B = rand_pair(8, seed=0)  # n^(3/2) ~ 22.6 < 64
+        with pytest.raises(ValueError):
+            run_berntsen(A, B, 64, MACHINE)
+
+    def test_block_formation_limit(self):
+        A, B = rand_pair(3, seed=0)  # p^(2/3) = 4 > 3
+        with pytest.raises(ValueError):
+            run_berntsen(A, B, 8, MACHINE, enforce_concurrency_limit=False)
+
+
+class TestTiming:
+    def test_close_to_eq5(self):
+        n, p = 32, 64
+        A, B = rand_pair(n, seed=5)
+        res = run_berntsen(A, B, p, MACHINE, enforce_concurrency_limit=False)
+        model = MODELS["berntsen"].time(n, p, MACHINE)
+        # Eq. 5 is a phase-summed upper bound (and counts 2^q rolls for 2^q - 1)
+        assert res.parallel_time <= model * 1.05
+        assert res.parallel_time >= 0.5 * model
+
+    def test_lowest_communication_of_applicable(self):
+        # Section 10: Berntsen's is "the best algorithm in terms of
+        # communication overheads" where applicable
+        from repro.algorithms.cannon import run_cannon
+
+        n, p = 16, 64
+        A, B = rand_pair(n, seed=6)
+        t_b = run_berntsen(A, B, p, MACHINE).parallel_time
+        t_c = run_cannon(A, B, p, MACHINE).parallel_time
+        assert t_b < t_c
+
+    def test_compute_time_close_to_work(self):
+        n, p = 16, 64
+        A, B = rand_pair(n, seed=5)
+        res = run_berntsen(A, B, p, MACHINE)
+        # reduce-scatter adds are extra work beyond the n^3 multiply-adds
+        assert n**3 <= res.sim.total_compute_time <= n**3 + 2 * n * n * np.log2(p)

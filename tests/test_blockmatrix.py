@@ -1,0 +1,64 @@
+"""Unit tests for repro.blockops.blockmatrix."""
+
+import numpy as np
+import pytest
+
+from repro.blockops.blockmatrix import BlockMatrix
+from repro.blockops.partition import BlockSpec
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        m = rng.standard_normal((12, 8))
+        bm = BlockMatrix.from_dense(m, 3, 2)
+        assert np.array_equal(bm.to_dense(), m)
+
+    def test_zeros(self):
+        bm = BlockMatrix.zeros(6, 6, 3, 3)
+        assert bm.shape == (6, 6)
+        assert bm.grid == (3, 3)
+        assert np.array_equal(bm.to_dense(), np.zeros((6, 6)))
+
+    def test_bad_grid_shape(self, rng):
+        spec = BlockSpec(4, 4, 2, 2)
+        with pytest.raises(ValueError):
+            BlockMatrix(spec, [[np.zeros((2, 2))]])
+
+    def test_bad_block_shape(self):
+        spec = BlockSpec(4, 4, 2, 2)
+        blocks = [[np.zeros((2, 2)) for _ in range(2)] for _ in range(2)]
+        blocks[1][1] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            BlockMatrix(spec, blocks)
+
+
+class TestAccess:
+    def test_block_get_set(self, rng):
+        m = rng.standard_normal((8, 8))
+        bm = BlockMatrix.from_dense(m, 2, 2)
+        blk = bm.block(0, 1)
+        assert np.array_equal(blk, m[0:4, 4:8])
+        bm.set_block(0, 1, np.ones((4, 4)))
+        assert np.array_equal(bm.to_dense()[0:4, 4:8], np.ones((4, 4)))
+
+    def test_set_block_shape_check(self):
+        bm = BlockMatrix.zeros(8, 8, 2, 2)
+        with pytest.raises(ValueError):
+            bm.set_block(0, 0, np.zeros((2, 2)))
+
+    def test_block_index_check(self):
+        bm = BlockMatrix.zeros(8, 8, 2, 2)
+        with pytest.raises(IndexError):
+            bm.block(2, 0)
+
+    def test_iteration_order(self):
+        bm = BlockMatrix.zeros(4, 4, 2, 2)
+        coords = [(bi, bj) for bi, bj, _ in bm]
+        assert coords == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_uneven_blocks(self, rng):
+        m = rng.standard_normal((7, 5))
+        bm = BlockMatrix.from_dense(m, 3, 2)
+        assert bm.block(0, 0).shape == (3, 3)
+        assert bm.block(2, 1).shape == (2, 2)
+        assert np.array_equal(bm.to_dense(), m)

@@ -1,0 +1,45 @@
+"""Tests for the broadcast-scheme study experiment (§5.4.1)."""
+
+import pytest
+
+from repro.core.machine import MachineParams
+from repro.experiments import broadcast_study
+
+M = MachineParams(ts=50.0, tw=2.0)
+
+
+class TestBroadcastStudy:
+    def test_rows_structure(self):
+        rows = broadcast_study.run(machine=M, p=16, m_values=(16, 1024))
+        assert len(rows) == 2
+        assert {"T_binomial", "T_scatter_allgather", "T_pipelined_allport"} <= set(rows[0])
+
+    def test_large_messages_favor_improved_schemes(self):
+        rows = broadcast_study.run(machine=M, p=16, m_values=(4096,))
+        (row,) = rows
+        assert row["above_packet_bound"]
+        assert row["T_scatter_allgather"] < row["T_binomial"]
+        assert row["T_pipelined_allport"] < row["T_binomial"]
+
+    def test_small_messages_favor_binomial(self):
+        rows = broadcast_study.run(machine=M, p=16, m_values=(4,))
+        (row,) = rows
+        assert not row["above_packet_bound"]
+        assert row["T_binomial"] <= row["T_scatter_allgather"]
+
+    def test_pipelined_tracks_jho_bound(self):
+        rows = broadcast_study.run(machine=M, p=64, m_values=(16384,))
+        (row,) = rows
+        assert row["T_pipelined_allport"] == pytest.approx(row["jho_bound"], rel=0.10)
+
+    def test_format(self):
+        text = broadcast_study.format_text(
+            broadcast_study.run(machine=M, p=16, m_values=(64,))
+        )
+        assert "Broadcast-scheme study" in text
+
+    def test_cli_entry(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["broadcast", "--fast"]) == 0
+        assert "T_binomial" in capsys.readouterr().out

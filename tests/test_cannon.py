@@ -1,0 +1,139 @@
+"""Tests for Cannon's algorithm (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from conftest import rand_pair
+from repro.core.machine import MachineParams
+from repro.algorithms.cannon import run_cannon
+from repro.experiments.validation import cannon_exact_time
+from repro.simulator.topology import FullyConnected, Mesh2D
+
+
+MACHINE = MachineParams(ts=10.0, tw=2.0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,p", [(4, 4), (8, 16), (16, 16), (16, 64), (32, 64)])
+    def test_product_exact(self, n, p):
+        A, B = rand_pair(n, seed=n * 1000 + p)
+        res = run_cannon(A, B, p, MACHINE)
+        assert np.allclose(res.C, A @ B)
+
+    def test_uneven_blocks(self):
+        A, B = rand_pair(17, seed=7)
+        res = run_cannon(A, B, 16, MACHINE)
+        assert np.allclose(res.C, A @ B)
+
+    def test_single_processor(self):
+        A, B = rand_pair(5, seed=3)
+        res = run_cannon(A, B, 1, MACHINE)
+        assert np.allclose(res.C, A @ B)
+        assert res.parallel_time == pytest.approx(125.0)
+
+    def test_charged_alignment_same_product(self):
+        A, B = rand_pair(12, seed=9)
+        res = run_cannon(A, B, 16, MACHINE, align="charged")
+        assert np.allclose(res.C, A @ B)
+
+    def test_identity_times_matrix(self):
+        n = 8
+        A = np.eye(n)
+        B = rand_pair(n, seed=1)[0]
+        res = run_cannon(A, B, 16, MACHINE)
+        assert np.allclose(res.C, B)
+
+    def test_on_mesh_topology(self):
+        A, B = rand_pair(12, seed=11)
+        res = run_cannon(A, B, 9, MACHINE, topology=Mesh2D(3, 3))
+        assert np.allclose(res.C, A @ B)
+
+    def test_on_fully_connected_nonpow2_side(self):
+        # p = 36 is a square but not a power of four: fine off-hypercube
+        A, B = rand_pair(13, seed=13)
+        res = run_cannon(A, B, 36, MACHINE, topology=FullyConnected(36))
+        assert np.allclose(res.C, A @ B)
+
+
+class TestValidation:
+    def test_nonsquare_p_rejected(self):
+        A, B = rand_pair(8, seed=0)
+        with pytest.raises(ValueError):
+            run_cannon(A, B, 8, MACHINE)
+
+    def test_p_exceeding_n_squared_rejected(self):
+        A, B = rand_pair(3, seed=0)
+        with pytest.raises(ValueError):
+            run_cannon(A, B, 16, MACHINE)
+
+    def test_nonsquare_matrix_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            run_cannon(rng.standard_normal((4, 6)), rng.standard_normal((6, 4)), 4, MACHINE)
+
+    def test_bad_align_mode(self):
+        A, B = rand_pair(8, seed=0)
+        with pytest.raises(ValueError):
+            run_cannon(A, B, 4, MACHINE, align="maybe")
+
+    def test_hypercube_needs_pow2_side(self):
+        A, B = rand_pair(16, seed=0)
+        with pytest.raises(ValueError):
+            run_cannon(A, B, 36, MACHINE)  # default hypercube of size 36 impossible
+
+
+class TestTiming:
+    @pytest.mark.parametrize("n,p", [(16, 16), (32, 16), (32, 64), (24, 16)])
+    def test_matches_exact_equation(self, n, p):
+        # T_p = n^3/p + 2*(sqrt(p)-1)*(ts + tw*n^2/p): Eq. 3 with the exact
+        # roll count; the simulator must land on it to machine precision.
+        A, B = rand_pair(n, seed=5)
+        res = run_cannon(A, B, p, MACHINE)
+        assert res.parallel_time == pytest.approx(cannon_exact_time(n, p, MACHINE))
+
+    def test_paper_equation_asymptotic_agreement(self):
+        # against the paper's own Eq. 3 (sqrt(p) rolls) the error is O(1/sqrt(p))
+        from repro.core.models import MODELS
+
+        n, p = 64, 64
+        A, B = rand_pair(n, seed=5)
+        res = run_cannon(A, B, p, MACHINE)
+        model = MODELS["cannon"].time(n, p, MACHINE)
+        assert abs(res.parallel_time - model) / model < 2 / np.sqrt(p)
+
+    def test_charged_alignment_costs_more(self):
+        A, B = rand_pair(16, seed=5)
+        t_pre = run_cannon(A, B, 16, MACHINE, align="pre").parallel_time
+        t_charged = run_cannon(A, B, 16, MACHINE, align="charged").parallel_time
+        assert t_charged > t_pre
+
+    def test_efficiency_increases_with_n(self):
+        p = 16
+        effs = [run_cannon(*rand_pair(n, seed=1), p, MACHINE).efficiency for n in (8, 16, 32, 64)]
+        assert effs == sorted(effs)
+        assert 0 < effs[0] < effs[-1] <= 1.0
+
+    def test_overhead_decomposition(self):
+        A, B = rand_pair(16, seed=5)
+        res = run_cannon(A, B, 16, MACHINE)
+        # T_o = p*Tp - W must equal total comm + idle time across ranks
+        assert res.total_overhead == pytest.approx(
+            sum(s.comm_time for s in res.sim.stats)
+        )
+
+
+class TestStats:
+    def test_message_counts(self):
+        n, p = 16, 16
+        A, B = rand_pair(n, seed=5)
+        res = run_cannon(A, B, p, MACHINE)
+        # (sqrt(p)-1) rolls of two blocks per rank
+        side = 4
+        assert res.sim.total_messages == p * 2 * (side - 1)
+        assert res.sim.total_words == p * 2 * (side - 1) * (n * n // p)
+
+    def test_compute_time_is_work(self):
+        n, p = 16, 16
+        A, B = rand_pair(n, seed=5)
+        res = run_cannon(A, B, p, MACHINE)
+        assert res.sim.total_compute_time == pytest.approx(n**3)

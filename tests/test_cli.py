@@ -1,0 +1,111 @@
+"""Tests for the top-level command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestRun:
+    def test_run_cannon(self, capsys):
+        assert main(["run", "cannon", "-n", "16", "-p", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "numerically correct : True" in out.replace("  ", " ").replace(
+            "numerically correct        :", "numerically correct :"
+        ) or "True" in out
+        assert "T_p" in out
+
+    def test_run_gk(self, capsys):
+        assert main(["run", "gk", "-n", "16", "-p", "8"]) == 0
+        assert "GK" in capsys.readouterr().out
+
+    def test_run_infeasible_instance(self):
+        with pytest.raises(SystemExit):
+            main(["run", "cannon", "-n", "4", "-p", "64"])
+
+    def test_run_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["run", "strassen", "-n", "16", "-p", "16"])
+
+    def test_machine_overrides(self, capsys):
+        assert main(["run", "cannon", "-n", "16", "-p", "16", "--ts", "0", "--tw", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "efficiency" in out
+
+
+class TestSelect:
+    def test_select(self, capsys):
+        assert main(["select", "-n", "96", "-p", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "best algorithm" in out and "ranking" in out
+
+    def test_select_feasible(self, capsys):
+        assert main(["select", "-n", "100", "-p", "64", "--feasible"]) == 0
+        assert "best algorithm" in capsys.readouterr().out
+
+    def test_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            main(["select", "-n", "64", "-p", "16", "--machine", "cray"])
+
+
+class TestInfoCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "cm5" in out and "ncube2-like" in out
+
+    def test_regions(self, capsys):
+        assert main(["regions", "--log2-p-max", "10", "--log2-n-max", "6"]) == 0
+        assert "n=2^" in capsys.readouterr().out
+
+    def test_iso(self, capsys):
+        assert main(["iso", "cannon", "--log2-p-max", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "isoefficiency of cannon" in out and "O(p^1.5)" in out
+
+    def test_iso_dns_cap(self, capsys):
+        assert main(["iso", "dns", "-e", "0.5"]) == 0
+        assert "unreachable" in capsys.readouterr().out
+
+    def test_memory(self, capsys):
+        assert main(["memory", "-n", "32", "-p", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "cannon" in out and "blowup" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSweepCommand:
+    def test_sweep_table(self, capsys):
+        assert main(["sweep", "cannon", "--n-values", "16", "--p-values", "4", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "T_sim" in out and "cannon" in out
+
+    def test_sweep_csv_to_file(self, capsys, tmp_path):
+        out_file = tmp_path / "rows.csv"
+        assert main([
+            "sweep", "gk", "--n-values", "8", "--p-values", "8",
+            "--format", "csv", "--out", str(out_file),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert out_file.read_text().startswith("algorithm,")
+
+    def test_sweep_json(self, capsys):
+        assert main(["sweep", "cannon", "--n-values", "8", "--p-values", "4",
+                     "--format", "json"]) == 0
+        import json
+
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["algorithm"] == "cannon"
+
+
+class TestGanttCommand:
+    def test_gantt(self, capsys):
+        assert main(["gantt", "cannon", "-n", "16", "-p", "4", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "rank    0" in out and "#" in out
+
+    def test_gantt_infeasible(self):
+        with pytest.raises(SystemExit):
+            main(["gantt", "cannon", "-n", "2", "-p", "64"])

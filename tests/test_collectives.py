@@ -1,0 +1,316 @@
+"""Unit tests for the SPMD collectives: correctness AND emergent cost."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.machine import MachineParams
+from repro.simulator.collectives import (
+    allgather_recursive_doubling,
+    allgather_ring,
+    barrier,
+    bcast_binomial,
+    my_index,
+    reduce_binomial,
+    reduce_scatter_halving,
+    sendrecv,
+    shift_cyclic,
+    words_of,
+)
+from repro.simulator.engine import Engine, run_spmd
+from repro.simulator.errors import ProgramError
+from repro.simulator.topology import FullyConnected, Hypercube
+
+
+MACHINE = MachineParams(ts=10.0, tw=2.0)
+
+
+def run_group(p, body, machine=MACHINE, topo=None):
+    """Run `body(info, group)` on every rank of a size-p machine."""
+    topo = topo or FullyConnected(p)
+    group = list(range(p))
+
+    def factory(info):
+        return body(info, group)
+
+    return run_spmd(topo, machine, factory)
+
+
+class TestWordsOf:
+    def test_array(self):
+        assert words_of(np.zeros((3, 4))) == 12
+
+    def test_scalar(self):
+        assert words_of(3.5) == 1
+
+    def test_nested(self):
+        assert words_of([np.zeros(3), np.zeros((2, 2))]) == 7
+
+
+class TestMyIndex:
+    def test_found(self, machine):
+        def body(info, group):
+            return my_index(info, group)
+            yield
+
+        res = run_group(4, body)
+        assert res.returns == [0, 1, 2, 3]
+
+    def test_missing_raises(self, machine):
+        def body(info, group):
+            my_index(info, [99])
+            yield
+
+        with pytest.raises(ProgramError):
+            run_group(2, body)
+
+
+class TestSendrecv:
+    def test_ring_exchange(self):
+        def body(info, group):
+            p = len(group)
+            nxt, prv = (info.rank + 1) % p, (info.rank - 1) % p
+            got = yield from sendrecv(info, nxt, info.rank * 10, prv)
+            return got
+
+        res = run_group(4, body)
+        assert res.returns == [30, 0, 10, 20]
+
+
+class TestBcastBinomial:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_delivers_everywhere(self, p, root):
+        if root >= p:
+            pytest.skip("root outside group")
+
+        def body(info, group):
+            payload = np.arange(4.0) if my_index(info, group) == root else None
+            out = yield from bcast_binomial(info, group, root, payload)
+            return out.sum()
+
+        res = run_group(p, body)
+        assert all(v == 6.0 for v in res.returns)
+
+    def test_non_power_of_two_group(self):
+        def body(info, group):
+            payload = "data" if my_index(info, group) == 2 else None
+            out = yield from bcast_binomial(info, group, 2, payload)
+            return out
+
+        res = run_group(6, body)
+        assert res.returns == ["data"] * 6
+
+    def test_cost_on_hypercube_subcube(self):
+        # one-to-all broadcast of m words over 2^k ranks: (ts + tw*m) * k
+        p, m = 8, 50
+
+        def body(info, group):
+            payload = np.zeros(m) if my_index(info, group) == 0 else None
+            yield from bcast_binomial(info, group, 0, payload)
+
+        res = run_group(p, body, topo=Hypercube(3))
+        expected = (MACHINE.ts + MACHINE.tw * m) * math.log2(p)
+        assert res.parallel_time == pytest.approx(expected)
+
+    def test_group_of_one(self):
+        def body(info, group):
+            out = yield from bcast_binomial(info, [info.rank], 0, "me")
+            return out
+
+        res = run_group(2, body)
+        assert res.returns == ["me", "me"]
+
+
+class TestReduceBinomial:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_sum_at_root(self, p):
+        def body(info, group):
+            out = yield from reduce_binomial(info, group, 0, np.array([float(info.rank)]))
+            return None if out is None else float(out[0])
+
+        res = run_group(p, body)
+        assert res.returns[0] == sum(range(p))
+        assert all(v is None for v in res.returns[1:])
+
+    def test_nonzero_root(self):
+        def body(info, group):
+            out = yield from reduce_binomial(info, group, 2, np.array([1.0]))
+            return None if out is None else float(out[0])
+
+        res = run_group(4, body)
+        assert res.returns[2] == 4.0
+
+    def test_custom_op(self):
+        def body(info, group):
+            out = yield from reduce_binomial(
+                info, group, 0, info.rank, op=max, nwords=1
+            )
+            return out
+
+        res = run_group(8, body)
+        assert res.returns[0] == 7
+
+    def test_charge_op_adds_compute(self):
+        def body(info, group):
+            yield from reduce_binomial(
+                info, group, 0, np.zeros(10), charge_op=lambda x: 0.5 * x.size
+            )
+
+        res = run_group(2, body)
+        assert res.stats[0].compute_time == 5.0
+
+    def test_cost_on_hypercube(self):
+        p, m = 8, 40
+
+        def body(info, group):
+            yield from reduce_binomial(info, group, 0, np.zeros(m))
+
+        res = run_group(p, body, topo=Hypercube(3))
+        expected = (MACHINE.ts + MACHINE.tw * m) * math.log2(p)
+        assert res.parallel_time == pytest.approx(expected)
+
+
+class TestAllgatherRecursiveDoubling:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_gathers_in_order(self, p):
+        def body(info, group):
+            out = yield from allgather_recursive_doubling(info, group, info.rank * 11)
+            return out
+
+        res = run_group(p, body)
+        expected = [r * 11 for r in range(p)]
+        assert all(v == expected for v in res.returns)
+
+    def test_non_power_of_two_rejected(self):
+        def body(info, group):
+            yield from allgather_recursive_doubling(info, group, 0)
+
+        with pytest.raises(ProgramError):
+            run_group(6, body)
+
+    def test_cost_matches_hypercube_all_to_all_bcast(self):
+        # ts*log g + tw*m*(g-1): volumes double each round
+        p, m = 8, 24
+
+        def body(info, group):
+            yield from allgather_recursive_doubling(info, group, np.zeros(m))
+
+        res = run_group(p, body, topo=Hypercube(3))
+        expected = MACHINE.ts * math.log2(p) + MACHINE.tw * m * (p - 1)
+        assert res.parallel_time == pytest.approx(expected)
+
+
+class TestAllgatherRing:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_gathers_in_order(self, p):
+        def body(info, group):
+            out = yield from allgather_ring(info, group, chr(ord("a") + info.rank))
+            return "".join(out)
+
+        res = run_group(p, body)
+        expected = "".join(chr(ord("a") + r) for r in range(p))
+        assert all(v == expected for v in res.returns)
+
+    def test_cost_is_g_minus_1_steps(self):
+        p, m = 5, 30
+
+        def body(info, group):
+            yield from allgather_ring(info, group, np.zeros(m))
+
+        res = run_group(p, body)
+        assert res.parallel_time == pytest.approx((p - 1) * (MACHINE.ts + MACHINE.tw * m))
+
+
+class TestReduceScatterHalving:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_pieces_sum_to_total(self, p):
+        data_of = {r: np.arange(16.0) + r for r in range(p)}
+
+        def body(info, group):
+            piece, lo, hi = yield from reduce_scatter_halving(
+                info, group, data_of[info.rank].reshape(4, 4)
+            )
+            return piece, lo, hi
+
+        res = run_group(p, body)
+        total = np.zeros(16)
+        covered = []
+        for piece, lo, hi in res.returns:
+            total[lo:hi] += piece
+            covered.append((lo, hi))
+        expected = sum(data_of.values())
+        assert np.allclose(total, expected)
+        # intervals tile [0, 16) exactly
+        covered.sort()
+        assert covered[0][0] == 0 and covered[-1][1] == 16
+        for (a0, a1), (b0, b1) in zip(covered, covered[1:]):
+            assert a1 == b0
+
+    def test_non_power_of_two_rejected(self):
+        def body(info, group):
+            yield from reduce_scatter_halving(info, group, np.zeros(8))
+
+        with pytest.raises(ProgramError):
+            run_group(3, body)
+
+    def test_volume_halves_each_round(self):
+        # total volume per rank: m/2 + m/4 + ... = m*(g-1)/g
+        p, m = 4, 32
+
+        def body(info, group):
+            yield from reduce_scatter_halving(
+                info, group, np.zeros(m), charge_adds=False
+            )
+
+        res = run_group(p, body, topo=Hypercube(2))
+        comm = MACHINE.ts * math.log2(p) + MACHINE.tw * m * (p - 1) / p
+        assert res.parallel_time == pytest.approx(comm)
+
+    def test_adds_charged(self):
+        def body(info, group):
+            yield from reduce_scatter_halving(info, group, np.zeros(8))
+
+        res = run_group(2, body)
+        assert res.stats[0].compute_time == 4.0  # one merge of 4 elements
+
+
+class TestShiftCyclic:
+    @pytest.mark.parametrize("offset", [-2, -1, 0, 1, 3])
+    def test_shift(self, offset):
+        p = 6
+
+        def body(info, group):
+            got = yield from shift_cyclic(info, group, offset, info.rank)
+            return got
+
+        res = run_group(p, body)
+        assert res.returns == [(r - offset) % p for r in range(p)]
+
+    def test_zero_offset_free(self):
+        def body(info, group):
+            got = yield from shift_cyclic(info, group, 0, info.rank)
+            return got
+
+        res = run_group(4, body)
+        assert res.parallel_time == 0.0
+
+    def test_cost_one_step(self):
+        m = 25
+
+        def body(info, group):
+            yield from shift_cyclic(info, group, -1, np.zeros(m))
+
+        res = run_group(4, body)
+        assert res.parallel_time == pytest.approx(MACHINE.ts + MACHINE.tw * m)
+
+
+class TestBarrierHelper:
+    def test_barrier(self):
+        def body(info, group):
+            yield from barrier(info)
+            return "ok"
+
+        res = run_group(3, body)
+        assert res.returns == ["ok"] * 3

@@ -1,0 +1,127 @@
+"""Collectives over subgroups: groups smaller than the machine, concurrent
+disjoint groups, and group orderings that are not contiguous ranks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.machine import MachineParams
+from repro.simulator.collectives import (
+    allgather_recursive_doubling,
+    allgather_ring,
+    bcast_binomial,
+    reduce_binomial,
+    shift_cyclic,
+)
+from repro.simulator.engine import run_spmd
+from repro.simulator.topology import FullyConnected, Hypercube
+
+M = MachineParams(ts=10.0, tw=2.0)
+
+
+def run_in_groups(p, groups, body):
+    """Each rank participates in the (single) group containing it."""
+    owner = {}
+    for g in groups:
+        for r in g:
+            owner[r] = g
+
+    def factory(info):
+        def prog():
+            if info.rank not in owner:
+                return None
+            out = yield from body(info, owner[info.rank])
+            return out
+
+        return prog()
+
+    return run_spmd(FullyConnected(p), M, factory)
+
+
+class TestSubgroups:
+    def test_bcast_on_strict_subgroup(self):
+        # only ranks 2..5 participate; the rest finish immediately
+        def body(info, group):
+            data = "x" if info.rank == group[0] else None
+            out = yield from bcast_binomial(info, group, 0, data)
+            return out
+
+        res = run_in_groups(8, [[2, 3, 4, 5]], body)
+        assert res.returns[2:6] == ["x"] * 4
+        assert res.returns[0] is None and res.returns[6] is None
+        assert res.stats[0].finish_time == 0.0
+
+    def test_concurrent_disjoint_groups(self):
+        # two groups run the same collective simultaneously without cross-talk
+        def body(info, group):
+            out = yield from allgather_recursive_doubling(info, group, info.rank)
+            return tuple(out)
+
+        res = run_in_groups(8, [[0, 1, 2, 3], [4, 5, 6, 7]], body)
+        assert res.returns[0] == (0, 1, 2, 3)
+        assert res.returns[7] == (4, 5, 6, 7)
+
+    def test_interleaved_group_membership(self):
+        # groups need not be contiguous: even and odd ranks
+        def body(info, group):
+            out = yield from allgather_ring(info, group, info.rank * 10)
+            return tuple(out)
+
+        res = run_in_groups(8, [[0, 2, 4, 6], [1, 3, 5, 7]], body)
+        assert res.returns[4] == (0, 20, 40, 60)
+        assert res.returns[3] == (10, 30, 50, 70)
+
+    def test_reversed_group_order(self):
+        # group order defines the ring direction, not rank order
+        def body(info, group):
+            got = yield from shift_cyclic(info, group, 1, info.rank)
+            return got
+
+        res = run_in_groups(4, [[3, 2, 1, 0]], body)
+        # index of rank r in group is 3-r; sender to index+1 => rank r receives
+        # from group[(3-r)-1] = rank r+1
+        assert res.returns == [1, 2, 3, 0]
+
+    def test_subcube_group_inside_bigger_hypercube(self):
+        # a subcube group of a larger hypercube still gets single-hop steps
+        group = [8, 9, 10, 11]  # subcube: ranks differing in low 2 bits
+
+        def factory(info):
+            def prog():
+                if info.rank not in group:
+                    return None
+                data = np.zeros(10) if info.rank == 8 else None
+                out = yield from bcast_binomial(info, group, 0, data)
+                return out.size
+
+            return prog()
+
+        res = run_spmd(Hypercube(4), M, factory)
+        assert [res.returns[r] for r in group] == [10] * 4
+        # exactly log2(4) = 2 message steps of (ts + tw*10)
+        busy = [res.stats[r].finish_time for r in group]
+        assert max(busy) == pytest.approx(2 * (M.ts + 10 * M.tw))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.sampled_from([4, 8, 16]),
+    offset=st.integers(min_value=-5, max_value=5),
+    data=st.data(),
+)
+def test_shift_on_random_subgroup(p, offset, data):
+    size = data.draw(st.integers(min_value=1, max_value=p))
+    members = data.draw(
+        st.lists(st.integers(min_value=0, max_value=p - 1), min_size=size,
+                 max_size=size, unique=True)
+    )
+
+    def body(info, group):
+        got = yield from shift_cyclic(info, group, offset, info.rank)
+        return got
+
+    res = run_in_groups(p, [members], body)
+    g = len(members)
+    for idx, r in enumerate(members):
+        assert res.returns[r] == members[(idx - offset) % g]

@@ -1,0 +1,106 @@
+"""Tests for the DNS algorithm (Section 4.5), both forms."""
+
+import numpy as np
+import pytest
+
+from conftest import rand_pair
+from repro.algorithms.dns import (
+    T_ADD,
+    run_dns_block,
+    run_dns_one_per_element,
+)
+from repro.core.machine import MachineParams
+from repro.core.models import MODELS
+from repro.simulator.topology import FullyConnected
+
+MACHINE = MachineParams(ts=10.0, tw=2.0)
+
+
+class TestOnePerElement:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_product_exact(self, n):
+        A, B = rand_pair(n, seed=n)
+        res = run_dns_one_per_element(A, B, MACHINE)
+        assert res.p == n**3
+        assert np.allclose(res.C, A @ B)
+
+    def test_log_time(self):
+        # O(log n) parallel time: doubling n adds only O(1) levels
+        t = {}
+        for n in (2, 4, 8):
+            A, B = rand_pair(n, seed=1)
+            t[n] = run_dns_one_per_element(A, B, MACHINE).parallel_time
+        # growth is far below the 8x of the serial work
+        assert t[8] / t[2] < 4
+
+    def test_not_processor_efficient(self):
+        # processor-time product far exceeds n^3 (Section 4.5.1)
+        n = 4
+        A, B = rand_pair(n, seed=1)
+        res = run_dns_one_per_element(A, B, MACHINE)
+        assert res.p * res.parallel_time > 5 * n**3
+
+    def test_nonpow2_rejected_on_hypercube(self):
+        A, B = rand_pair(3, seed=1)
+        with pytest.raises(ValueError):
+            run_dns_one_per_element(A, B, MACHINE)
+
+    def test_fully_connected(self):
+        n = 4
+        A, B = rand_pair(n, seed=2)
+        res = run_dns_one_per_element(A, B, MACHINE, topology=FullyConnected(n**3))
+        assert np.allclose(res.C, A @ B)
+
+
+class TestBlockVariant:
+    @pytest.mark.parametrize("n,r", [(4, 1), (4, 2), (4, 4), (8, 2), (8, 4)])
+    def test_product_exact(self, n, r):
+        A, B = rand_pair(n, seed=n * 10 + r)
+        res = run_dns_block(A, B, r, MACHINE)
+        assert res.p == n * n * r
+        assert np.allclose(res.C, A @ B)
+
+    def test_r_equals_n_matches_one_per_element_layout(self):
+        # r = n degenerates to p = n^3
+        n = 4
+        A, B = rand_pair(n, seed=3)
+        res = run_dns_block(A, B, n, MACHINE)
+        assert res.p == n**3
+        assert np.allclose(res.C, A @ B)
+
+    def test_r_validation(self):
+        A, B = rand_pair(4, seed=0)
+        with pytest.raises(ValueError):
+            run_dns_block(A, B, 0, MACHINE)
+        with pytest.raises(ValueError):
+            run_dns_block(A, B, 8, MACHINE)  # r > n
+        with pytest.raises(ValueError):
+            run_dns_block(A, B, 3, MACHINE)  # r does not divide n
+
+    def test_time_at_or_below_eq6(self):
+        n, r = 8, 2
+        A, B = rand_pair(n, seed=5)
+        res = run_dns_block(A, B, r, MACHINE)
+        model = MODELS["dns"].time(n, n * n * r, MACHINE)
+        assert res.parallel_time <= model * 1.05
+
+    def test_stage2_work_per_processor(self):
+        # each processor does n/r fused multiply-adds plus reduce merges
+        n, r = 8, 2
+        A, B = rand_pair(n, seed=5)
+        res = run_dns_block(A, B, r, MACHINE)
+        p = n * n * r
+        fma_work = p * (n / r)
+        merge_work = (r - 1) * n * n * T_ADD
+        assert res.sim.total_compute_time == pytest.approx(fma_work + merge_work)
+
+
+class TestEfficiencyCeiling:
+    def test_efficiency_stays_below_cap(self):
+        # Section 5.3: E <= 1/(1 + 2*(ts+tw)) no matter the problem size
+        machine = MachineParams(ts=0.25, tw=0.25)
+        cap = MODELS["dns"].max_efficiency(machine)
+        for n, r in ((4, 2), (8, 2), (8, 4)):
+            A, B = rand_pair(n, seed=1)
+            res = run_dns_block(A, B, r, machine)
+            assert res.efficiency <= cap * 1.05

@@ -1,0 +1,45 @@
+"""Operand-dtype robustness across all algorithms.
+
+A production library must not silently corrupt non-float64 inputs; every
+algorithm is exercised with float32, float64, and complex128 operands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import registry
+from repro.core.machine import MachineParams
+
+M = MachineParams(ts=5.0, tw=1.0)
+
+CASES = [("simple", 16), ("cannon", 16), ("fox", 16), ("berntsen", 8), ("gk", 8), ("dns", 128)]
+
+
+def _operands(n: int, dtype, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n)).astype(dtype)
+    B = rng.standard_normal((n, n)).astype(dtype)
+    if np.issubdtype(dtype, np.complexfloating):
+        A = A + 1j * rng.standard_normal((n, n))
+        B = B + 1j * rng.standard_normal((n, n))
+    return A, B
+
+
+class TestDtypes:
+    @pytest.mark.parametrize("key,p", CASES)
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.complex128])
+    def test_product_correct_and_dtype_preserved(self, key, p, dtype):
+        n = 8
+        A, B = _operands(n, dtype, seed=p)
+        res = registry.run(key, A, B, p, M)
+        rtol = 1e-4 if dtype == np.float32 else 1e-9
+        assert np.allclose(res.C, A @ B, rtol=rtol, atol=1e-5)
+        assert np.result_type(res.C.dtype, dtype) == np.result_type(A, B)
+
+    @pytest.mark.parametrize("key,p", [("cannon", 16), ("gk", 8)])
+    def test_integer_inputs_exact(self, key, p):
+        rng = np.random.default_rng(1)
+        A = rng.integers(-5, 6, size=(8, 8)).astype(np.int64)
+        B = rng.integers(-5, 6, size=(8, 8)).astype(np.int64)
+        res = registry.run(key, A, B, p, M)
+        assert np.array_equal(res.C.astype(np.int64), A @ B)

@@ -1,0 +1,121 @@
+"""Property-based fuzzing of the discrete-event engine.
+
+Generates random-but-matched communication schedules (every send has a
+corresponding receive) and checks the engine's global invariants:
+no deadlock, clock monotonicity, exact payload delivery, conservation
+of messages/words, and determinism.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.machine import MachineParams
+from repro.simulator.engine import Engine
+from repro.simulator.request import Compute, Recv, Send
+from repro.simulator.topology import FullyConnected, Hypercube
+
+
+def _build_schedule(rng: np.random.Generator, p: int, nops: int):
+    """A random schedule of matched sends/recvs plus computes.
+
+    Returns per-rank op lists.  Messages are generated in a global
+    causal order (sender op appended before receiver op), which a
+    round-robin engine must be able to execute without deadlock as long
+    as receives on each rank happen in the order generated.
+    """
+    ops: list[list[tuple]] = [[] for _ in range(p)]
+    msg_id = 0
+    for _ in range(nops):
+        kind = rng.choice(["send", "compute"])
+        if kind == "compute":
+            r = int(rng.integers(p))
+            ops[r].append(("compute", float(rng.integers(1, 50))))
+        else:
+            src = int(rng.integers(p))
+            dst = int(rng.integers(p - 1))
+            if dst >= src:
+                dst += 1
+            nwords = int(rng.integers(0, 40))
+            ops[src].append(("send", dst, msg_id, nwords))
+            ops[dst].append(("recv", src, msg_id))
+            msg_id += 1
+    return ops
+
+
+def _factory_for(ops):
+    def make(rank_ops):
+        def factory(info):
+            def body():
+                got = []
+                for op in rank_ops:
+                    if op[0] == "compute":
+                        yield Compute(op[1])
+                    elif op[0] == "send":
+                        _, dst, mid, nwords = op
+                        yield Send(dst=dst, data=("msg", mid), nwords=nwords, tag=mid)
+                    else:
+                        _, src, mid = op
+                        data = yield Recv(src=src, tag=mid)
+                        got.append((data[1], mid))
+                return got
+
+            return body()
+
+        return factory
+
+    return [make(rank_ops) for rank_ops in ops]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    p=st.sampled_from([2, 3, 4, 8]),
+    nops=st.integers(min_value=1, max_value=60),
+    ts=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_random_matched_schedules_complete(seed, p, nops, ts):
+    rng = np.random.default_rng(seed)
+    ops = _build_schedule(rng, p, nops)
+    machine = MachineParams(ts=ts, tw=1.0)
+    res = Engine(FullyConnected(p), machine).run(_factory_for(ops))
+    # every receive got the payload of its own message id
+    for got in res.returns:
+        assert all(received_id == mid for received_id, mid in got)
+    # conservation: messages/words sent match schedule
+    sends = [op for rank_ops in ops for op in rank_ops if op[0] == "send"]
+    assert res.total_messages == len(sends)
+    assert res.total_words == sum(op[3] for op in sends)
+    # clocks non-negative, Tp is the max finish time
+    assert all(s.finish_time >= 0 for s in res.stats)
+    assert res.parallel_time == max(s.finish_time for s in res.stats)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    nops=st.integers(min_value=5, max_value=40),
+)
+def test_fuzz_determinism(seed, nops):
+    rng = np.random.default_rng(seed)
+    ops = _build_schedule(rng, 4, nops)
+    machine = MachineParams(ts=3.0, tw=2.0)
+    r1 = Engine(Hypercube(2), machine).run(_factory_for(ops))
+    r2 = Engine(Hypercube(2), machine).run(_factory_for(ops))
+    assert r1.parallel_time == r2.parallel_time
+    assert [s.finish_time for s in r1.stats] == [s.finish_time for s in r2.stats]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_trace_times_monotone_per_rank(seed):
+    rng = np.random.default_rng(seed)
+    ops = _build_schedule(rng, 4, 30)
+    machine = MachineParams(ts=3.0, tw=2.0)
+    res = Engine(FullyConnected(4), machine, trace=True).run(_factory_for(ops))
+    for rank in range(4):
+        events = res.trace.for_rank(rank)
+        for a, b in zip(events, events[1:]):
+            assert a.end <= b.start + 1e-9
+        for e in events:
+            assert e.start <= e.end

@@ -1,0 +1,54 @@
+"""Every example script runs end-to-end (with small arguments)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, argv: list[str]) -> None:
+    old = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        # p = 64 is both a perfect square (Cannon) and a perfect cube (GK)
+        _run("quickstart.py", ["32", "64"])
+        out = capsys.readouterr().out
+        assert "verified" in out
+
+    def test_algorithm_selection(self, capsys):
+        _run("algorithm_selection.py", [])
+        assert "ranking" in capsys.readouterr().out
+
+    def test_scalability_study(self, capsys):
+        _run("scalability_study.py", ["0.5"])
+        out = capsys.readouterr().out
+        assert "cannon" in out and "unreachable" in out
+
+    def test_cm5_reproduction_fast(self, capsys):
+        _run("cm5_reproduction.py", ["--fast"])
+        assert "crossover" in capsys.readouterr().out
+
+    def test_technology_tradeoff(self, capsys):
+        _run("technology_tradeoff.py", ["4"])
+        out = capsys.readouterr().out
+        assert "many-slow" in out and "31.6" in out
+
+    def test_memory_constrained_scaling(self, capsys):
+        _run("memory_constrained_scaling.py", ["65536"])
+        assert "cannon" in capsys.readouterr().out
+
+    def test_paper_walkthrough(self, capsys):
+        _run("paper_walkthrough.py", [])
+        out = capsys.readouterr().out
+        assert "[ok ]" in out
+        assert "[!! ]" not in out

@@ -1,0 +1,76 @@
+"""Tests for Fox's algorithm (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from conftest import rand_pair
+from repro.algorithms.cannon import run_cannon
+from repro.algorithms.fox import BROADCAST_SCHEMES, run_fox
+from repro.core.machine import MachineParams
+
+MACHINE = MachineParams(ts=10.0, tw=2.0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("scheme", BROADCAST_SCHEMES)
+    @pytest.mark.parametrize("n,p", [(4, 4), (16, 16), (16, 64)])
+    def test_product_exact(self, scheme, n, p):
+        A, B = rand_pair(n, seed=n + p)
+        res = run_fox(A, B, p, MACHINE, broadcast=scheme)
+        assert np.allclose(res.C, A @ B)
+
+    @pytest.mark.parametrize("scheme", BROADCAST_SCHEMES)
+    def test_uneven_blocks(self, scheme):
+        A, B = rand_pair(19, seed=3)
+        res = run_fox(A, B, 16, MACHINE, broadcast=scheme)
+        assert np.allclose(res.C, A @ B)
+
+    def test_single_processor(self):
+        A, B = rand_pair(5, seed=1)
+        res = run_fox(A, B, 1, MACHINE)
+        assert np.allclose(res.C, A @ B)
+
+
+class TestValidation:
+    def test_bad_scheme(self):
+        A, B = rand_pair(8, seed=0)
+        with pytest.raises(ValueError):
+            run_fox(A, B, 4, MACHINE, broadcast="telepathy")
+
+    def test_nonsquare_p(self):
+        A, B = rand_pair(8, seed=0)
+        with pytest.raises(ValueError):
+            run_fox(A, B, 8, MACHINE)
+
+
+class TestTiming:
+    def test_binomial_beats_sequential(self):
+        # hypercube broadcast is log(sqrt p) steps vs sqrt(p)-1 sequential sends
+        A, B = rand_pair(32, seed=5)
+        t_seq = run_fox(A, B, 64, MACHINE, broadcast="sequential").parallel_time
+        t_bin = run_fox(A, B, 64, MACHINE, broadcast="binomial").parallel_time
+        assert t_bin < t_seq
+
+    def test_ring_pipelines_vs_sequential(self):
+        # the ring (pipelined) broadcast overlaps iterations; with a large
+        # startup cost it beats the root-sends-everything scheme
+        machine = MachineParams(ts=200.0, tw=1.0)
+        A, B = rand_pair(32, seed=5)
+        t_seq = run_fox(A, B, 64, machine, broadcast="sequential").parallel_time
+        t_ring = run_fox(A, B, 64, machine, broadcast="ring").parallel_time
+        assert t_ring < t_seq
+
+    def test_worse_than_cannon(self):
+        # Section 4.3: "clearly the parallel execution time of this algorithm
+        # is worse than ... Cannon's algorithm" (synchronous formulations)
+        A, B = rand_pair(32, seed=5)
+        for scheme in BROADCAST_SCHEMES:
+            t_fox = run_fox(A, B, 64, MACHINE, broadcast=scheme).parallel_time
+            t_cannon = run_cannon(A, B, 64, MACHINE).parallel_time
+            assert t_fox >= t_cannon
+
+    def test_compute_time_is_work(self):
+        n, p = 16, 16
+        A, B = rand_pair(n, seed=5)
+        res = run_fox(A, B, p, MACHINE)
+        assert res.sim.total_compute_time == pytest.approx(n**3)

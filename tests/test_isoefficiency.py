@@ -1,0 +1,146 @@
+"""Tests for the isoefficiency solver (Sections 3 and 5)."""
+
+import math
+
+import pytest
+
+from repro.core.isoefficiency import (
+    fit_growth_exponent,
+    isoefficiency,
+    isoefficiency_curve,
+    isoefficiency_terms,
+)
+from repro.core.machine import MachineParams, NCUBE2_LIKE
+from repro.core.metrics import k_factor
+from repro.core.models import MODELS
+
+M = MachineParams(ts=2.0, tw=0.5)
+
+
+class TestBalance:
+    def test_satisfies_central_relation(self):
+        # at the solution, W == K * To(W, p) whenever the comm terms bind
+        model = MODELS["cannon"]
+        for e in (0.3, 0.5, 0.8):
+            for p in (64.0, 4096.0):
+                w = isoefficiency(model, p, M, e)
+                n = w ** (1 / 3)
+                assert w == pytest.approx(k_factor(e) * model.overhead(n, p, M), rel=1e-6)
+
+    def test_achieved_efficiency_matches_target(self):
+        model = MODELS["gk"]
+        e = 0.6
+        w = isoefficiency(model, 512.0, M, e)
+        n = w ** (1 / 3)
+        assert model.efficiency(n, 512.0, M) == pytest.approx(e, rel=1e-6)
+
+    def test_monotone_in_p(self):
+        model = MODELS["cannon"]
+        ws = [isoefficiency(model, float(p), M, 0.5) for p in (16, 64, 256, 1024)]
+        assert ws == sorted(ws)
+
+    def test_monotone_in_efficiency(self):
+        model = MODELS["cannon"]
+        ws = [isoefficiency(model, 256.0, M, e) for e in (0.2, 0.5, 0.8)]
+        assert ws == sorted(ws)
+
+    def test_cannon_exact_tw_scaling(self):
+        # with ts = 0 the tw term is the whole overhead and Eq. 9 is exact:
+        # W = 8 K^3 tw^3 p^1.5
+        model = MODELS["cannon"]
+        m = MachineParams(ts=0.0, tw=1.5)
+        e = 0.5
+        p = 2.0**20
+        w = isoefficiency(model, p, m, e)
+        expected = 8 * k_factor(e) ** 3 * m.tw**3 * p**1.5
+        assert w == pytest.approx(expected, rel=1e-6)
+
+    def test_cannon_exact_ts_scaling(self):
+        # with tw = 0 the ts term is the whole overhead and Eq. 8 is exact:
+        # W = 2 K ts p^1.5
+        model = MODELS["cannon"]
+        m = MachineParams(ts=3.0, tw=0.0)
+        e = 0.5
+        p = 2.0**20
+        w = isoefficiency(model, p, m, e)
+        assert w == pytest.approx(2 * k_factor(e) * m.ts * p**1.5, rel=1e-6)
+
+    def test_p_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            isoefficiency(MODELS["cannon"], 0.5, M)
+
+
+class TestConcurrencyBound:
+    def test_berntsen_concurrency_dominates(self):
+        # Section 5.2: despite tiny comm overhead, W must grow as p^2
+        model = MODELS["berntsen"]
+        p = 2.0**30
+        w = isoefficiency(model, p, M, 0.5)
+        assert w == pytest.approx(p**2)
+
+    def test_cannon_concurrency_vs_comm(self):
+        # with near-zero comm costs, the p^1.5 concurrency bound is the floor
+        model = MODELS["cannon"]
+        tiny = MachineParams(ts=1e-9, tw=1e-9)
+        w = isoefficiency(model, 2.0**20, tiny, 0.5)
+        assert w == pytest.approx((2.0**20) ** 1.5)
+
+
+class TestDNSCap:
+    def test_unreachable_efficiency_inf(self):
+        assert isoefficiency(MODELS["dns"], 64.0, NCUBE2_LIKE, 0.5) == math.inf
+
+    def test_reachable_below_cap(self):
+        m = MachineParams(ts=0.05, tw=0.05)
+        w = isoefficiency(MODELS["dns"], 64.0, m, 0.3)
+        assert math.isfinite(w) and w > 0
+
+
+class TestTermwise:
+    def test_cannon_terms(self):
+        terms = isoefficiency_terms(MODELS["cannon"], 1024.0, M, 0.5)
+        assert set(terms) == {"ts", "tw", "concurrency"}
+        k = k_factor(0.5)
+        assert terms["ts"] == pytest.approx(2 * k * M.ts * 1024.0**1.5, rel=1e-6)
+        assert terms["tw"] == pytest.approx(8 * k**3 * M.tw**3 * 1024.0**1.5, rel=1e-6)
+        assert terms["concurrency"] == pytest.approx(1024.0**1.5)
+
+    def test_overall_at_least_max_term(self):
+        p = 2.0**16
+        for key in ("cannon", "gk", "berntsen"):
+            model = MODELS[key]
+            terms = isoefficiency_terms(model, p, M, 0.5)
+            finite = [v for v in terms.values() if math.isfinite(v)]
+            w = isoefficiency(model, p, M, 0.5)
+            assert w >= max(finite) * 0.99
+
+
+class TestCurveAndFit:
+    def test_curve_shape(self):
+        curve = isoefficiency_curve(MODELS["cannon"], M, 0.5)
+        assert curve.model_key == "cannon"
+        assert len(curve.p_values) == len(curve.w_values)
+
+    def test_fit_recovers_pure_power(self):
+        ps = [2.0**k for k in range(4, 20, 2)]
+        ws = [7 * p**1.5 for p in ps]
+        assert fit_growth_exponent(ps, ws) == pytest.approx(1.5)
+
+    def test_fit_with_log_factor(self):
+        ps = [2.0**k for k in range(4, 20, 2)]
+        ws = [p * math.log2(p) ** 3 for p in ps]
+        assert fit_growth_exponent(ps, ws, log_power=3) == pytest.approx(1.0)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_growth_exponent([2.0], [4.0])
+
+    @pytest.mark.parametrize(
+        "key,log_power,expected",
+        [("cannon", 0, 1.5), ("simple", 0, 1.5), ("berntsen", 0, 2.0), ("gk", 3, 1.0)],
+    )
+    def test_table1_asymptotics(self, key, log_power, expected):
+        ps = [2.0**k for k in range(10, 40, 4)]
+        ws = [isoefficiency(MODELS[key], p, M, 0.5) for p in ps]
+        slope = fit_growth_exponent(ps, ws, log_power=log_power)
+        assert slope == pytest.approx(expected, abs=0.15)

@@ -1,0 +1,176 @@
+"""Tests for the large-message broadcast schemes (paper §5.4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.machine import MachineParams
+from repro.simulator.errors import ProgramError
+from repro.simulator.engine import run_spmd
+from repro.simulator.jho import (
+    bcast_pipelined_binomial,
+    bcast_scatter_allgather,
+    jho_broadcast_time,
+    optimal_packet_words,
+)
+from repro.simulator.topology import Hypercube
+
+MACHINE = MachineParams(ts=10.0, tw=2.0)
+
+
+def run_bcast(p, scheme, data_shape, root=0, machine=MACHINE, **kw):
+    group = list(range(p))
+    payload = np.arange(float(np.prod(data_shape))).reshape(data_shape)
+
+    def factory(info):
+        def body():
+            out = yield from scheme(
+                info, group, root, payload if info.rank == group[root] else None, **kw
+            )
+            return out
+
+        return body()
+
+    res = run_spmd(Hypercube.of_size(p), machine, factory)
+    return res, payload
+
+
+class TestOptimalPacket:
+    def test_formula(self):
+        # s* = sqrt(ts*m / (tw*log p))
+        assert optimal_packet_words(256, 8, 150.0, 3.0) == int(
+            math.sqrt(150 * 256 / (3 * 3))
+        )
+
+    def test_at_least_one_word(self):
+        assert optimal_packet_words(1, 1024, 0.001, 10.0) == 1
+
+    def test_tw_zero(self):
+        assert optimal_packet_words(64, 8, 1.0, 0.0) == 64
+
+    def test_jho_time_monotone_in_m(self):
+        ts, tw = 50.0, 2.0
+        times = [jho_broadcast_time(m, 64, ts, tw) for m in (16, 64, 256, 1024)]
+        assert times == sorted(times)
+
+    def test_jho_time_trivial_group(self):
+        assert jho_broadcast_time(100, 1, 10.0, 2.0) == 0.0
+
+
+class TestScatterAllgather:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    @pytest.mark.parametrize("shape", [(8, 8), (16,), (5, 3)])
+    def test_delivers_exact_copy(self, p, shape):
+        res, payload = run_bcast(p, bcast_scatter_allgather, shape)
+        for out in res.returns:
+            assert out.shape == payload.shape
+            assert np.array_equal(out, payload)
+
+    def test_nonzero_root(self):
+        res, payload = run_bcast(4, bcast_scatter_allgather, (6, 6), root=2)
+        assert all(np.array_equal(out, payload) for out in res.returns)
+
+    def test_group_of_one(self):
+        res, payload = run_bcast(1, bcast_scatter_allgather, (4, 4))
+        assert np.array_equal(res.returns[0], payload)
+
+    def test_non_power_of_two_rejected(self):
+        group = [0, 1, 2]
+
+        def factory(info):
+            def body():
+                yield from bcast_scatter_allgather(info, group, 0, np.zeros(4))
+
+            return body()
+
+        with pytest.raises(ProgramError):
+            run_spmd(Hypercube(2), MACHINE, lambda i: factory(i) if i.rank < 3 else iter(()))
+
+    def test_cost_beats_binomial_for_large_messages(self):
+        from repro.simulator.collectives import bcast_binomial
+
+        p, m = 16, 4096
+        res_sag, _ = run_bcast(p, bcast_scatter_allgather, (m,))
+        res_bin, _ = run_bcast(p, bcast_binomial, (m,))
+        # ~2(ts log p + tw m) vs (ts + tw m) log p: a ~2x win at log p = 4
+        assert res_sag.parallel_time < res_bin.parallel_time
+        assert res_sag.parallel_time < 0.7 * res_bin.parallel_time
+
+    def test_cost_close_to_leading_terms(self):
+        p, m = 8, 1024
+        res, _ = run_bcast(p, bcast_scatter_allgather, (m,))
+        lead = 2 * MACHINE.ts * math.log2(p) + 2 * MACHINE.tw * m * (1 - 1 / p)
+        assert res.parallel_time == pytest.approx(lead, rel=0.35)
+
+
+class TestPipelinedBinomial:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    @pytest.mark.parametrize("shape", [(8, 8), (33,)])
+    def test_delivers_exact_copy(self, p, shape):
+        res, payload = run_bcast(p, bcast_pipelined_binomial, shape)
+        for out in res.returns:
+            assert np.array_equal(out, payload)
+
+    def test_explicit_packet_size(self):
+        res, payload = run_bcast(8, bcast_pipelined_binomial, (64,), packet_words=7)
+        assert all(np.array_equal(out, payload) for out in res.returns)
+
+    def test_allport_approaches_jho_bound(self):
+        # with all-port forwarding and the optimal packet size, the measured
+        # time lands near the Johnsson-Ho expression
+        p, m = 16, 8192
+        machine = MACHINE.with_(all_port=True)
+        res, _ = run_bcast(p, bcast_pipelined_binomial, (m,), machine=machine)
+        bound = jho_broadcast_time(m, p, machine.ts, machine.tw)
+        assert res.parallel_time == pytest.approx(bound, rel=0.30)
+
+    def test_allport_beats_binomial_large_messages(self):
+        from repro.simulator.collectives import bcast_binomial
+
+        p, m = 16, 8192
+        machine = MACHINE.with_(all_port=True)
+        res_pipe, _ = run_bcast(p, bcast_pipelined_binomial, (m,), machine=machine)
+        res_bin, _ = run_bcast(p, bcast_binomial, (m,), machine=machine)
+        assert res_pipe.parallel_time < res_bin.parallel_time
+
+    def test_one_port_degrades(self):
+        # Section 7's distinction: without simultaneous ports the pipelined
+        # scheme loses its advantage over the naive broadcast
+        from repro.simulator.collectives import bcast_binomial
+
+        p, m = 16, 512
+        res_pipe, _ = run_bcast(p, bcast_pipelined_binomial, (m,))
+        res_bin, _ = run_bcast(p, bcast_binomial, (m,))
+        assert res_pipe.parallel_time > 0.8 * res_bin.parallel_time
+
+
+class TestImprovedGKVariant:
+    def test_all_schemes_correct(self):
+        from repro.algorithms.gk import run_gk
+
+        rng = np.random.default_rng(0)
+        n = 32
+        A, B = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+        for scheme in ("binomial", "scatter-allgather", "pipelined"):
+            res = run_gk(A, B, 64, MACHINE, broadcast=scheme)
+            assert np.allclose(res.C, A @ B), scheme
+
+    def test_improved_wins_large_blocks(self):
+        from repro.algorithms.gk import run_gk
+
+        rng = np.random.default_rng(1)
+        n = 128  # blocks of 32x32 = 1024 words on a 4^3 cube
+        A, B = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+        machine = MachineParams(ts=150.0, tw=3.0)
+        t_naive = run_gk(A, B, 64, machine, broadcast="binomial").parallel_time
+        t_improved = run_gk(A, B, 64, machine, broadcast="scatter-allgather").parallel_time
+        assert t_improved < t_naive
+
+    def test_bad_scheme_rejected(self):
+        from repro.algorithms.gk import run_gk
+
+        rng = np.random.default_rng(1)
+        A = rng.standard_normal((8, 8))
+        with pytest.raises(ValueError):
+            run_gk(A, A, 8, MACHINE, broadcast="carrier-pigeon")

@@ -1,0 +1,85 @@
+"""Tests for the Section 2 metric helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    efficiency,
+    efficiency_from_overhead,
+    k_factor,
+    speedup,
+    total_overhead,
+)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(100.0, 25.0) == 4.0
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(100.0, 0.0)
+
+
+class TestEfficiency:
+    def test_basic(self):
+        assert efficiency(100.0, 25.0, 4) == 1.0
+        assert efficiency(100.0, 50.0, 4) == 0.5
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            efficiency(100.0, 25.0, 0)
+
+
+class TestOverhead:
+    def test_basic(self):
+        assert total_overhead(100.0, 30.0, 4) == 20.0
+
+    def test_ideal_is_zero(self):
+        assert total_overhead(100.0, 25.0, 4) == 0.0
+
+    def test_bad_p(self):
+        with pytest.raises(ValueError):
+            total_overhead(100.0, 25.0, -1)
+
+
+class TestKFactor:
+    def test_half(self):
+        assert k_factor(0.5) == pytest.approx(1.0)
+
+    def test_point_eight(self):
+        assert k_factor(0.8) == pytest.approx(4.0)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            k_factor(0.0)
+        with pytest.raises(ValueError):
+            k_factor(1.0)
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_roundtrip_with_overhead_formula(self, e):
+        # E = 1/(1 + To/W) with To = W/K reproduces E
+        k = k_factor(e)
+        w = 1000.0
+        assert efficiency_from_overhead(w, w / k) == pytest.approx(e)
+
+
+class TestEfficiencyFromOverhead:
+    def test_basic(self):
+        assert efficiency_from_overhead(100.0, 100.0) == 0.5
+        assert efficiency_from_overhead(100.0, 0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            efficiency_from_overhead(0.0, 1.0)
+        with pytest.raises(ValueError):
+            efficiency_from_overhead(1.0, -1.0)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e12),
+        st.floats(min_value=0.0, max_value=1e12),
+    )
+    def test_range(self, w, to):
+        e = efficiency_from_overhead(w, to)
+        assert 0.0 < e <= 1.0

@@ -1,0 +1,132 @@
+"""Miscellaneous coverage: report formatting edges, trace helpers,
+model hand-points not covered elsewhere, CLI overrides."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.machine import MachineParams
+from repro.core.models import MODELS
+from repro.experiments.report import _fmt, format_kv, format_table
+from repro.simulator.trace import Trace, TraceEvent
+
+M = MachineParams(ts=10.0, tw=2.0)
+
+
+class TestReportFormatting:
+    def test_fmt_special_floats(self):
+        assert _fmt(float("nan")) == "nan"
+        assert _fmt(float("inf")) == "inf"
+        assert _fmt(float("-inf")) == "-inf"
+        assert _fmt(0.0) == "0"
+
+    def test_fmt_magnitudes(self):
+        assert _fmt(1.23456789e7) == "1.235e+07"
+        assert _fmt(0.00012345) == "0.0001234" or "e" in _fmt(0.00012345)
+        assert _fmt(3.5) == "3.5"
+        assert _fmt(True) == "True"
+
+    def test_table_missing_column(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "b" in text
+
+    def test_kv_empty(self):
+        assert format_kv("T", {}).startswith("T")
+
+
+class TestTraceHelpers:
+    def test_for_rank_and_by_kind(self):
+        tr = Trace(enabled=True)
+        tr.record(TraceEvent(0, 0, 1, "compute"))
+        tr.record(TraceEvent(1, 0, 2, "send"))
+        tr.record(TraceEvent(0, 1, 3, "send"))
+        assert len(tr.for_rank(0)) == 2
+        assert len(tr.by_kind("send")) == 2
+        assert tr.by_kind("barrier") == []
+
+    def test_disabled_records_nothing(self):
+        tr = Trace(enabled=False)
+        tr.record(TraceEvent(0, 0, 1, "compute"))
+        assert tr.events == [] and tr.dropped == 0
+
+
+class TestModelHandPoints:
+    def test_gk_improved_large_message_form(self):
+        # at large n the sqrt term is dominated; comm ~ 5*tw*n^2/p^(2/3)
+        m = MODELS["gk-improved"]
+        n, p = 2.0**14, 512.0
+        comm = m.comm_time(n, p, M)
+        leading = 5 * M.tw * n**2 / p ** (2 / 3)
+        assert comm == pytest.approx(leading, rel=0.05)
+
+    def test_gk_improved_p1(self):
+        assert MODELS["gk-improved"].comm_time(64, 1, M) == 0.0
+
+    def test_allport_models_p1(self):
+        from repro.core.allport import ALLPORT_MODELS
+
+        for key in ALLPORT_MODELS:
+            assert ALLPORT_MODELS[key].comm_time(64, 1, M) == 0.0
+
+    def test_berntsen_min_procs(self):
+        assert MODELS["berntsen"].min_procs(64) == 1.0
+
+    def test_equation_labels(self):
+        assert MODELS["cannon"].equation == "(3)"
+        assert MODELS["gk"].equation == "(7)"
+        assert MODELS["gk-cm5"].equation == "(18)"
+
+    def test_repr(self):
+        assert "cannon" in repr(MODELS["cannon"])
+
+
+class TestCLIMachineOverrides:
+    def test_regions_with_custom_params(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "regions", "--machine", "cm5", "--ts", "1.0", "--tw", "1.0",
+            "--log2-p-max", "8", "--log2-n-max", "4",
+        ]) == 0
+        assert "ts=1.0" in capsys.readouterr().out
+
+    def test_iso_custom_efficiency(self, capsys):
+        from repro.cli import main
+
+        assert main(["iso", "gk", "-e", "0.9", "--log2-p-max", "6"]) == 0
+        assert "E = 0.9" in capsys.readouterr().out
+
+
+class TestOptimalPacketProperty:
+    @pytest.mark.parametrize("m", [256, 1024, 8192])
+    def test_paper_packet_size_near_optimal_for_pipelined_cost(self, m):
+        # cost(s) = (log p + ceil(m/s) - 1) * (ts + tw*s): the paper's
+        # s* = sqrt(ts*m/(tw*log p)) should be within 5% of the best s
+        from repro.simulator.jho import optimal_packet_words
+
+        p = 64
+        lg = math.log2(p)
+
+        def cost(s):
+            return (lg + math.ceil(m / s) - 1) * (M.ts + M.tw * s)
+
+        s_star = optimal_packet_words(m, p, M.ts, M.tw)
+        best = min(cost(s) for s in range(1, m + 1))
+        assert cost(s_star) <= best * 1.05
+
+
+class TestBlockMatrixDtype:
+    def test_dtype_preserved(self, rng):
+        from repro.blockops.blockmatrix import BlockMatrix
+
+        m = rng.standard_normal((8, 8)).astype(np.float32)
+        bm = BlockMatrix.from_dense(m, 2, 2)
+        assert bm.block(0, 0).dtype == np.float32
+        assert bm.to_dense().dtype == np.float32
+
+    def test_zeros_dtype(self):
+        from repro.blockops.blockmatrix import BlockMatrix
+
+        bm = BlockMatrix.zeros(4, 4, 2, 2, dtype=np.complex128)
+        assert bm.to_dense().dtype == np.complex128

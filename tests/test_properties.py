@@ -1,0 +1,174 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.cannon import run_cannon
+from repro.algorithms.gk import run_gk
+from repro.algorithms.simple import run_simple
+from repro.core.machine import MachineParams
+from repro.core.models import COMPARISON_MODELS, MODELS
+
+machines = st.builds(
+    MachineParams,
+    ts=st.floats(min_value=0.0, max_value=500.0),
+    tw=st.floats(min_value=0.0, max_value=20.0),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=24),
+    side=st.sampled_from([1, 2, 4]),
+    ts=st.floats(min_value=0.0, max_value=300.0),
+    tw=st.floats(min_value=0.0, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_cannon_always_correct_and_costed(n, side, ts, tw, seed):
+    """Any feasible Cannon instance: exact product, exact cost formula."""
+    if side > n:
+        side = 1
+    p = side * side
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    m = MachineParams(ts=ts, tw=tw)
+    res = run_cannon(A, B, p, m)
+    assert np.allclose(res.C, A @ B)
+    if n % side == 0:  # even blocks: closed-form cost is exact
+        expected = n**3 / p + 2 * (side - 1) * (ts + tw * n * n / p)
+        assert res.parallel_time == pytest.approx(expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=20),
+    q=st.sampled_from([0, 1, 2]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_gk_always_correct(n, q, seed):
+    """Any feasible GK instance produces the exact product."""
+    r = 2**q
+    if r > n:
+        r = 1
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    res = run_gk(A, B, r**3, MachineParams(ts=25.0, tw=1.0))
+    assert np.allclose(res.C, A @ B)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_simple_matches_cannon_product(n, seed):
+    """Different algorithms agree with each other bit-for-bit-ish."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    m = MachineParams(ts=5.0, tw=1.0)
+    c1 = run_simple(A, B, 4, m).C
+    c2 = run_cannon(A, B, 4, m).C
+    assert np.allclose(c1, c2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    machine=machines,
+    log_n=st.floats(min_value=1.0, max_value=12.0),
+    log_p=st.floats(min_value=0.0, max_value=20.0),
+)
+def test_model_invariants(machine, log_n, log_p):
+    """Every model: Tp >= compute part, To >= 0, 0 < E <= 1 where applicable."""
+    n, p = 2.0**log_n, 2.0**log_p
+    for key in COMPARISON_MODELS:
+        model = MODELS[key]
+        if not model.applicable(n, p):
+            continue
+        tp = model.time(n, p, machine)
+        assert tp >= n**3 / p - 1e-9
+        assert model.overhead(n, p, machine) >= -1e-6
+        e = model.efficiency(n, p, machine)
+        assert 0 < e <= 1 + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    machine=machines,
+    log_p=st.floats(min_value=1.0, max_value=16.0),
+    e=st.floats(min_value=0.1, max_value=0.9),
+)
+def test_isoefficiency_delivers_target_efficiency(machine, log_p, e):
+    """W(p) from the solver really achieves efficiency >= target."""
+    from repro.core.isoefficiency import isoefficiency
+
+    p = 2.0**log_p
+    model = MODELS["cannon"]
+    if machine.ts == 0 and machine.tw == 0:
+        return  # free communication: any W gives E = 1
+    w = isoefficiency(model, p, machine, e)
+    n = w ** (1 / 3)
+    assert model.efficiency(n, p, machine) >= e - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    log_n=st.floats(min_value=0.5, max_value=14.0),
+    log_p=st.floats(min_value=0.0, max_value=24.0),
+    machine=machines,
+)
+def test_region_winner_minimizes_overhead(log_n, log_p, machine):
+    """best_algorithm always returns the applicable argmin (or 'x')."""
+    from repro.core.regions import best_algorithm
+
+    n, p = 2.0**log_n, 2.0**log_p
+    key = best_algorithm(n, p, machine)
+    applicable = [k for k in COMPARISON_MODELS if MODELS[k].applicable(n, p)]
+    if not applicable:
+        assert key == "x"
+        return
+    assert key in applicable
+    win = MODELS[key].overhead(n, p, machine)
+    for other in applicable:
+        assert win <= MODELS[other].overhead(n, p, machine) + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_simulation_is_deterministic(seed):
+    """Identical inputs give identical clocks and products."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((8, 8))
+    B = rng.standard_normal((8, 8))
+    m = MachineParams(ts=7.0, tw=3.0)
+    r1 = run_gk(A, B, 8, m)
+    r2 = run_gk(A, B, 8, m)
+    assert r1.parallel_time == r2.parallel_time
+    assert np.array_equal(r1.C, r2.C)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**16),
+    ts=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_overhead_identity_on_simulated_runs(n, seed, ts):
+    """For any simulated run: p*Tp - W == sum of per-rank non-compute time
+    (+ any extra charged arithmetic, e.g. reduction adds)."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    m = MachineParams(ts=ts, tw=1.0)
+    res = run_cannon(A, B, 4, m)
+    lhs = res.total_overhead
+    idle_or_comm = sum(
+        res.parallel_time - s.compute_time for s in res.sim.stats
+    )
+    assert lhs == pytest.approx(idle_or_comm, abs=1e-6)

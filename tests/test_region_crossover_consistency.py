@@ -1,0 +1,77 @@
+"""Cross-checks between the region maps and the crossover curves.
+
+Figures 1-3 are drawn from two ingredients — the pairwise equal-overhead
+curves and the applicability lines.  These tests verify the two
+ingredients agree with the painted regions: walking n upward at fixed p,
+the winner changes exactly where the relevant n_EqualTo curve says it
+should.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.crossover import equal_overhead_n
+from repro.core.machine import FUTURE_MIMD, NCUBE2_LIKE, SIMD_CM2_LIKE
+from repro.core.models import MODELS
+from repro.core.regions import best_algorithm
+
+
+def _winner_transition(machine, p, lo=1.5, hi=1e7, samples=800):
+    """(n, old, new) at each winner change while sweeping n at fixed p."""
+    ns = np.geomspace(lo, hi, samples)
+    transitions = []
+    prev = best_algorithm(ns[0], p, machine)
+    for n in ns[1:]:
+        cur = best_algorithm(n, p, machine)
+        if cur != prev:
+            transitions.append((n, prev, cur))
+            prev = cur
+    return transitions
+
+
+class TestBoundaryConsistency:
+    @pytest.mark.parametrize("machine", [NCUBE2_LIKE, FUTURE_MIMD, SIMD_CM2_LIKE])
+    @pytest.mark.parametrize("log2p", [8, 12, 16])
+    def test_transitions_lie_on_curves_or_applicability_lines(self, machine, log2p):
+        p = 2.0**log2p
+        for n, old, new in _winner_transition(machine, p):
+            # the boundary is either an applicability edge of one of the two
+            # algorithms, or the equal-overhead curve between them
+            keys = [k for k in (old, new) if k != "x"]
+            on_applicability = any(
+                abs(np.log(max(MODELS[k].min_procs(n), 1.0)) - np.log(p)) < 0.05
+                or abs(np.log(MODELS[k].max_procs(n)) - np.log(p)) < 0.05
+                for k in keys
+            )
+            if on_applicability or "x" in (old, new):
+                continue
+            # search only near the boundary: some pairs (DNS vs GK) have two
+            # roots and we must match the one this boundary sits on
+            cross = equal_overhead_n(old, new, p, machine, n_lo=n / 1.25, n_hi=n * 1.25)
+            assert cross is not None, (machine.name, p, n, old, new)
+            assert cross == pytest.approx(n, rel=0.05)
+
+    def test_gk_cannon_boundary_matches_curve_exactly(self):
+        # at a (machine, p) where the gk->cannon boundary exists, the
+        # painted boundary equals the Eq. 15 curve
+        p = 2.0**8
+        transitions = _winner_transition(FUTURE_MIMD, p, lo=2, hi=1e4)
+        gk_to_cannon = [t for t in transitions if t[1] == "gk" and t[2] == "cannon"]
+        assert gk_to_cannon
+        n_boundary = gk_to_cannon[0][0]
+        n_curve = equal_overhead_n("gk", "cannon", p, FUTURE_MIMD)
+        assert n_boundary == pytest.approx(n_curve, rel=0.02)
+
+    def test_winner_never_inapplicable(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            n = float(2 ** rng.uniform(0.5, 14))
+            p = float(2 ** rng.uniform(0, 24))
+            key = best_algorithm(n, p, FUTURE_MIMD)
+            if key != "x":
+                assert MODELS[key].applicable(n, p)
+            else:
+                assert all(
+                    not MODELS[k].applicable(n, p)
+                    for k in ("berntsen", "cannon", "gk", "dns")
+                )

@@ -1,0 +1,88 @@
+"""Tests for the region-of-superiority maps (Section 6, Figures 1-3)."""
+
+import pytest
+
+from repro.core.machine import FUTURE_MIMD, NCUBE2_LIKE, SIMD_CM2_LIKE
+from repro.core.regions import LETTER_OF, best_algorithm, region_map
+
+
+class TestBestAlgorithm:
+    def test_infeasible_region(self):
+        # p > n^3: nothing applies
+        assert best_algorithm(4, 100, NCUBE2_LIKE) == "x"
+
+    def test_winner_is_applicable(self):
+        from repro.core.models import MODELS
+
+        for n, p in ((64, 16), (64, 512), (16, 512), (1024, 2**20)):
+            key = best_algorithm(n, p, NCUBE2_LIKE)
+            if key != "x":
+                assert MODELS[key].applicable(n, p)
+
+    def test_winner_has_min_overhead(self):
+        from repro.core.models import COMPARISON_MODELS, MODELS
+
+        n, p = 256, 4096
+        key = best_algorithm(n, p, NCUBE2_LIKE)
+        win = MODELS[key].overhead(n, p, NCUBE2_LIKE)
+        for other in COMPARISON_MODELS:
+            if MODELS[other].applicable(n, p):
+                assert win <= MODELS[other].overhead(n, p, NCUBE2_LIKE)
+
+    def test_berntsen_region_below_n_to_1_5(self):
+        # Figures 1-3 all show b below the p = n^(3/2) line at moderate sizes
+        for mach in (NCUBE2_LIKE, FUTURE_MIMD, SIMD_CM2_LIKE):
+            assert best_algorithm(256, 256, mach) == "berntsen"
+
+    def test_fig1_gk_above_concurrency_line(self):
+        # ts=150: GK is the best choice for p > n^(3/2) (Section 6, Figure 1)
+        assert best_algorithm(64, 4096, NCUBE2_LIKE) == "gk"
+        assert best_algorithm(128, 2**16, NCUBE2_LIKE) == "gk"
+
+    def test_fig3_dns_region(self):
+        # ts=0.5: DNS best for n^2 <= p <= n^3 at practical sizes
+        assert best_algorithm(64, 2**14, SIMD_CM2_LIKE) == "dns"
+
+    def test_fig3_cannon_region(self):
+        # ts=0.5: Cannon best for n^(3/2) <= p <= n^2
+        assert best_algorithm(256, 2**13, SIMD_CM2_LIKE) == "cannon"
+
+
+class TestRegionMap:
+    def test_grid_dimensions(self):
+        rm = region_map(NCUBE2_LIKE, log2_p_max=10, log2_n_max=6, p_step=2, n_step=2)
+        assert len(rm.n_values) == 4
+        assert len(rm.p_values) == 6
+        assert len(rm.cells) == 4 and len(rm.cells[0]) == 6
+
+    def test_letters(self):
+        assert LETTER_OF == {"gk": "a", "berntsen": "b", "cannon": "c", "dns": "d"}
+        rm = region_map(SIMD_CM2_LIKE, log2_p_max=12, log2_n_max=8, p_step=2, n_step=2)
+        letters = {c for row in rm.letter_grid() for c in row}
+        assert letters <= {"a", "b", "c", "d", "x"}
+
+    def test_fractions_sum_to_one(self):
+        rm = region_map(NCUBE2_LIKE, log2_p_max=16, log2_n_max=10, p_step=2, n_step=2)
+        assert sum(rm.fraction(k) for k in rm.winners()) == pytest.approx(1.0)
+
+    def test_fig2_all_four_regions_present(self):
+        # Section 6 on Figure 2: "each of the four algorithms performs
+        # better than the rest in some region ... practical values"
+        rm = region_map(FUTURE_MIMD, log2_p_max=30, log2_n_max=16)
+        assert {"gk", "berntsen", "cannon", "dns"} <= rm.winners()
+
+    def test_fig1_dns_impractical(self):
+        # Figure 1 (ts=150): DNS wins nothing at practical sizes
+        rm = region_map(NCUBE2_LIKE, log2_p_max=18, log2_n_max=12)
+        assert "dns" not in rm.winners()
+
+    def test_x_region_is_top_left(self):
+        rm = region_map(NCUBE2_LIKE, log2_p_max=20, log2_n_max=4)
+        # smallest n, largest p must be infeasible
+        assert rm.cells[0][-1] == "x"
+
+    def test_render_smoke(self):
+        rm = region_map(NCUBE2_LIKE, log2_p_max=8, log2_n_max=4, p_step=2, n_step=2)
+        text = rm.render()
+        assert "ts=150" in text
+        assert "n=2^" in text

@@ -1,0 +1,88 @@
+"""Tests for the algorithm registry (Section 10's library)."""
+
+import numpy as np
+import pytest
+
+from conftest import rand_pair
+from repro.algorithms import registry
+from repro.core.machine import MachineParams
+
+M = MachineParams(ts=10.0, tw=2.0)
+
+
+class TestLookup:
+    def test_all_six_registered(self):
+        assert set(registry.REGISTRY) == {
+            "simple",
+            "cannon",
+            "fox",
+            "berntsen",
+            "dns",
+            "gk",
+        }
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            registry.get("strassen")
+
+    def test_entries_carry_metadata(self):
+        e = registry.get("gk")
+        assert e.section == "4.6"
+        assert e.model_key == "gk"
+
+
+class TestFeasibility:
+    def test_grid_algorithms(self):
+        assert registry.get("cannon").feasible(16, 16)
+        assert not registry.get("cannon").feasible(16, 8)  # not a square
+        assert not registry.get("cannon").feasible(3, 16)  # sqrt(p) > n
+        assert not registry.get("cannon").feasible(16, 36)  # side not a power of 2
+
+    def test_berntsen(self):
+        assert registry.get("berntsen").feasible(16, 64)
+        assert not registry.get("berntsen").feasible(8, 64)  # p^2 > n^3
+        assert not registry.get("berntsen").feasible(16, 16)  # not 2^(3q)
+
+    def test_gk(self):
+        assert registry.get("gk").feasible(8, 512)
+        assert not registry.get("gk").feasible(7, 512)  # p > n^3
+        assert not registry.get("gk").feasible(8, 100)  # not a cube
+
+    def test_dns(self):
+        assert registry.get("dns").feasible(4, 32)  # r = 2
+        assert registry.get("dns").feasible(4, 64)  # r = 4 = n
+        assert not registry.get("dns").feasible(4, 48)  # r = 3 not pow2
+        assert not registry.get("dns").feasible(4, 8)  # p < n^2
+        assert not registry.get("dns").feasible(6, 72)  # n not pow2
+
+    def test_feasible_algorithms_listing(self):
+        keys = registry.feasible_algorithms(16, 64)
+        assert "cannon" in keys and "gk" in keys and "berntsen" in keys
+        assert "dns" not in keys  # p < n^2
+
+
+class TestRunDispatcher:
+    @pytest.mark.parametrize("key,n,p", [
+        ("simple", 8, 16),
+        ("cannon", 8, 16),
+        ("fox", 8, 16),
+        ("berntsen", 16, 64),
+        ("gk", 8, 64),
+        ("dns", 4, 32),
+    ])
+    def test_dispatch_and_verify(self, key, n, p):
+        A, B = rand_pair(n, seed=p)
+        res = registry.run(key, A, B, p, M)
+        assert np.allclose(res.C, A @ B)
+        assert res.p == p
+
+    def test_dns_one_per_element_dispatch(self):
+        A, B = rand_pair(4, seed=1)
+        res = registry.run("dns", A, B, 64, M)
+        assert res.algorithm == "dns"
+        assert np.allclose(res.C, A @ B)
+
+    def test_dns_bad_p(self):
+        A, B = rand_pair(4, seed=1)
+        with pytest.raises(ValueError):
+            registry.run("dns", A, B, 40, M)

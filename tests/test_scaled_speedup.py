@@ -1,0 +1,65 @@
+"""Tests for the memory-constrained scaling analysis."""
+
+import math
+
+import pytest
+
+from repro.core.machine import MachineParams
+from repro.core.memory import MEMORY_MODELS
+from repro.core.scaled_speedup import memory_constrained_n, scaled_speedup_curve
+
+M = MachineParams(ts=5.0, tw=1.0)
+
+
+class TestMemoryConstrainedN:
+    def test_cannon_closed_form(self):
+        # 3 n^2 / p == M  =>  n = sqrt(M p / 3)
+        n = memory_constrained_n("cannon", 64.0, 1200.0)
+        assert n == pytest.approx(math.sqrt(1200 * 64 / 3))
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            memory_constrained_n("cannon", 16.0, 0.0)
+
+    def test_fills_budget(self):
+        for key in ("cannon", "simple", "gk", "berntsen"):
+            n = memory_constrained_n(key, 64.0, 10_000.0)
+            used = MEMORY_MODELS[key].words_per_processor(n, 64.0)
+            assert used == pytest.approx(10_000.0, rel=1e-6) or n > 0
+
+    def test_memory_efficient_fits_bigger_problems(self):
+        # at the same per-PE budget, Cannon solves a larger n than GK or simple
+        p, budget = 4096.0, 30_000.0
+        n_cannon = memory_constrained_n("cannon", p, budget)
+        assert n_cannon > memory_constrained_n("gk", p, budget)
+        assert n_cannon > memory_constrained_n("simple", p, budget)
+
+
+class TestScaledCurves:
+    def test_cannon_efficiency_approaches_constant(self):
+        # memory-constrained Cannon scaling IS its isoefficiency scaling:
+        # efficiency converges instead of decaying
+        pts = scaled_speedup_curve("cannon", M, 50_000.0, [2**k for k in range(4, 21, 4)])
+        effs = [pt.efficiency for pt in pts]
+        diffs = [abs(b - a) for a, b in zip(effs, effs[1:])]
+        assert diffs == sorted(diffs, reverse=True)  # converging
+        assert effs[-1] == pytest.approx(effs[-2], abs=0.01)
+
+    def test_gk_efficiency_decays_slowly(self):
+        # GK's O(p (log p)^3) isoefficiency outpaces its O(p) memory-bound
+        # problem growth, so efficiency drifts down under this scaling
+        pts = scaled_speedup_curve("gk", M, 50_000.0, [2**k for k in range(6, 25, 6)])
+        effs = [pt.efficiency for pt in pts]
+        assert effs == sorted(effs, reverse=True)
+        assert effs[-1] < effs[0]
+
+    def test_scaled_speedup_grows(self):
+        pts = scaled_speedup_curve("cannon", M, 50_000.0, [16, 256, 4096])
+        sp = [pt.scaled_speedup for pt in pts]
+        assert sp == sorted(sp)
+        assert sp[-1] > 100
+
+    def test_points_feasible(self):
+        pts = scaled_speedup_curve("cannon", M, 50_000.0, [16, 256])
+        assert all(pt.memory_feasible for pt in pts)
+        assert all(pt.work == pytest.approx(pt.n**3) for pt in pts)

@@ -1,0 +1,61 @@
+"""Tests for the Section 10 algorithm selector."""
+
+import numpy as np
+import pytest
+
+from conftest import rand_pair
+from repro.core.machine import NCUBE2_LIKE, SIMD_CM2_LIKE
+from repro.core.selector import select, select_and_run
+
+
+class TestSelect:
+    def test_picks_min_time(self):
+        s = select(128, 64, NCUBE2_LIKE)
+        times = dict(s.ranking)
+        assert s.predicted_time == min(times.values())
+        assert s.key in times
+
+    def test_ranking_sorted(self):
+        s = select(128, 64, NCUBE2_LIKE)
+        times = [t for _, t in s.ranking]
+        assert times == sorted(times)
+
+    def test_matches_region_analysis(self):
+        from repro.core.regions import best_algorithm
+
+        for n, p in ((64, 512), (256, 64), (64, 2**14)):
+            s = select(n, p, SIMD_CM2_LIKE)
+            assert s.key == best_algorithm(n, p, SIMD_CM2_LIKE)
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ValueError):
+            select(4, 1000, NCUBE2_LIKE)  # p > n^3
+
+    def test_require_feasible_changes_choice(self):
+        # continuous winner may be infeasible for this exact (n, p)
+        s_any = select(100, 64, NCUBE2_LIKE)
+        s_feas = select(100, 64, NCUBE2_LIKE, require_feasible=True)
+        # both succeed; the feasible one must really be runnable
+        from repro.algorithms import registry
+
+        assert registry.get(s_feas.key).feasible(100, 64)
+        assert s_any.predicted_time <= s_feas.predicted_time + 1e-9
+
+    def test_predicted_efficiency(self):
+        s = select(128, 64, NCUBE2_LIKE)
+        assert 0 < s.predicted_efficiency <= 1
+
+
+class TestSelectAndRun:
+    def test_runs_winner_and_verifies(self):
+        A, B = rand_pair(32, seed=1)
+        selection, result = select_and_run(A, B, 64, NCUBE2_LIKE)
+        assert np.allclose(result.C, A @ B)
+        assert result.algorithm.startswith(selection.key[:3])
+
+    def test_prediction_close_to_simulation(self):
+        A, B = rand_pair(64, seed=2)
+        selection, result = select_and_run(A, B, 64, NCUBE2_LIKE)
+        # phase-summed models bound the simulator from above (within ~30%)
+        assert result.parallel_time <= selection.predicted_time * 1.1
+        assert result.parallel_time >= selection.predicted_time * 0.5

@@ -1,0 +1,34 @@
+"""Tests for the serial reference."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.serial import serial_matmul, serial_time, serial_work
+
+
+class TestSerialMatmul:
+    def test_matches_numpy(self, rng):
+        A = rng.standard_normal((10, 7))
+        B = rng.standard_normal((7, 13))
+        assert np.allclose(serial_matmul(A, B), A @ B)
+
+    def test_nonconforming_rejected(self, rng):
+        with pytest.raises(ValueError):
+            serial_matmul(rng.standard_normal((3, 4)), rng.standard_normal((3, 4)))
+
+    def test_one_dim_rejected(self, rng):
+        with pytest.raises(ValueError):
+            serial_matmul(rng.standard_normal(4), rng.standard_normal(4))
+
+
+class TestWork:
+    def test_serial_time(self):
+        assert serial_time(10) == 1000.0
+
+    def test_serial_time_validation(self):
+        with pytest.raises(ValueError):
+            serial_time(0)
+
+    def test_serial_work_rectangular(self):
+        assert serial_work(2, 3, 4) == 24.0
+        assert serial_work(5) == 125.0

@@ -1,0 +1,57 @@
+"""Tests for the sweep harness and exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.machine import MachineParams
+from repro.experiments.sweep import rows_to_csv, rows_to_json, sweep
+
+M = MachineParams(ts=10.0, tw=2.0)
+
+
+class TestSweep:
+    def test_covers_feasible_grid(self):
+        rows = sweep(["cannon", "gk"], [8, 16], [4, 8, 16], M)
+        combos = {(r["algorithm"], r["n"], r["p"]) for r in rows}
+        # cannon feasible at p in {4, 16}; gk at p = 8
+        assert ("cannon", 8, 4) in combos and ("cannon", 16, 16) in combos
+        assert ("gk", 8, 8) in combos
+        assert ("cannon", 8, 8) not in combos  # 8 not a square
+
+    def test_rows_have_model_and_sim(self):
+        rows = sweep(["cannon"], [16], [16], M)
+        (row,) = rows
+        assert row["T_sim"] > 0 and row["T_model"] > 0
+        assert 0 < row["efficiency_sim"] <= 1
+        assert row["messages"] > 0
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(ValueError):
+            sweep(["cannon"], [8], [8], M, skip_infeasible=False)
+
+    def test_reproducible(self):
+        r1 = sweep(["cannon"], [16], [16], M, seed=7)
+        r2 = sweep(["cannon"], [16], [16], M, seed=7)
+        assert r1 == r2
+
+
+class TestExport:
+    def test_csv_roundtrip(self):
+        rows = sweep(["cannon"], [8, 16], [4], M)
+        text = rows_to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == len(rows)
+        assert parsed[0]["algorithm"] == "cannon"
+        assert float(parsed[0]["T_sim"]) == pytest.approx(rows[0]["T_sim"])
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_json_roundtrip(self):
+        rows = sweep(["gk"], [8], [8], M)
+        parsed = json.loads(rows_to_json(rows))
+        assert parsed[0]["n"] == 8
+        assert parsed[0]["efficiency_sim"] == pytest.approx(rows[0]["efficiency_sim"])

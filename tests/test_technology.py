@@ -1,0 +1,76 @@
+"""Tests for the technology-scaling analysis (Section 8)."""
+
+import pytest
+
+from repro.core.machine import NCUBE2_LIKE, SIMD_CM2_LIKE, MachineParams
+from repro.core.technology import (
+    compare_fleets,
+    faster_processors,
+    work_growth_for_faster_processors,
+    work_growth_for_more_processors,
+)
+
+
+class TestFasterProcessors:
+    def test_scaling(self):
+        m = MachineParams(ts=10.0, tw=2.0, unit_time=1e-6)
+        f = faster_processors(m, 4)
+        assert f.ts == 40.0 and f.tw == 8.0
+        assert f.unit_time == pytest.approx(2.5e-7)
+
+    def test_wallclock_invariant_for_pure_compute(self):
+        # k-fold faster CPUs run the n^3/p part k-fold faster in wall clock
+        m = MachineParams(ts=0.0, tw=0.0, unit_time=1.0)
+        f = faster_processors(m, 5)
+        from repro.core.models import MODELS
+
+        t_slow = MODELS["cannon"].time(64, 16, m) * m.unit_time
+        t_fast = MODELS["cannon"].time(64, 16, f) * f.unit_time
+        assert t_fast == pytest.approx(t_slow / 5)
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            faster_processors(NCUBE2_LIKE, 0)
+
+
+class TestWorkGrowth:
+    def test_cannon_more_processors_31_6(self):
+        g = work_growth_for_more_processors("cannon", NCUBE2_LIKE, 1024, 10)
+        assert g == pytest.approx(31.6, rel=0.01)  # paper: 10^1.5 = 31.6
+
+    def test_cannon_faster_cpus_k_cubed(self):
+        # small-ts regime: the tw^3 multiplier makes growth ~ k^3 = 1000
+        g = work_growth_for_faster_processors("cannon", SIMD_CM2_LIKE, 1024, 10)
+        assert 900 < g < 1001
+
+    def test_exact_k_cubed_at_ts_zero(self):
+        m = MachineParams(ts=0.0, tw=3.0)
+        g = work_growth_for_faster_processors("cannon", m, 1024, 10)
+        assert g == pytest.approx(1000.0, rel=1e-6)
+
+    def test_growth_above_one(self):
+        for key in ("cannon", "gk", "berntsen"):
+            assert work_growth_for_more_processors(key, NCUBE2_LIKE, 512, 8) > 1
+            assert work_growth_for_faster_processors(key, NCUBE2_LIKE, 512, 8) > 1
+
+
+class TestFleets:
+    def test_many_slow_wins_large_problems(self):
+        # with enough work, k*p slow processors out-compute p fast ones
+        cmp_ = compare_fleets("cannon", 4096, 64, 4, NCUBE2_LIKE)
+        assert cmp_.many_slow_wins
+
+    def test_few_fast_wins_small_problems(self):
+        # tiny problems are overhead-dominated: fewer faster processors win
+        cmp_ = compare_fleets("cannon", 64, 64, 4, NCUBE2_LIKE)
+        assert not cmp_.many_slow_wins
+
+    def test_ratio(self):
+        cmp_ = compare_fleets("cannon", 1024, 64, 4, NCUBE2_LIKE)
+        assert cmp_.ratio == pytest.approx(
+            cmp_.seconds_few_fast / cmp_.seconds_many_slow
+        )
+
+    def test_applicability_checked(self):
+        with pytest.raises(ValueError):
+            compare_fleets("cannon", 8, 64, 4, NCUBE2_LIKE)  # k*p > n^2

@@ -1,0 +1,146 @@
+"""Unit and property tests for repro.simulator.topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulator.topology import (
+    FullyConnected,
+    Hypercube,
+    Mesh2D,
+    gray_code,
+    gray_rank,
+    inverse_gray_code,
+)
+
+
+class TestGrayCode:
+    def test_first_codes(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+        with pytest.raises(ValueError):
+            inverse_gray_code(-1)
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_inverse_roundtrip(self, i):
+        assert inverse_gray_code(gray_code(i)) == i
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_adjacent_codes_differ_one_bit(self, i):
+        assert (gray_code(i) ^ gray_code(i + 1)).bit_count() == 1
+
+    def test_wraparound_one_bit(self):
+        # gray(0) and gray(2^k - 1) differ in exactly one bit (ring closure)
+        for k in range(1, 10):
+            assert (gray_code(0) ^ gray_code(2**k - 1)).bit_count() == 1
+
+    def test_gray_rank_torus_neighbors(self):
+        dims = (4, 8)
+        hc = Hypercube(5)
+        for r in range(4):
+            for c in range(8):
+                me = gray_rank((r, c), dims)
+                right = gray_rank((r, (c + 1) % 8), dims)
+                down = gray_rank(((r + 1) % 4, c), dims)
+                assert hc.distance(me, right) == 1
+                assert hc.distance(me, down) == 1
+
+    def test_gray_rank_validation(self):
+        with pytest.raises(ValueError):
+            gray_rank((0,), (3,))  # not a power of two
+        with pytest.raises(ValueError):
+            gray_rank((4,), (4,))  # coordinate out of range
+        with pytest.raises(ValueError):
+            gray_rank((0, 0), (4,))  # length mismatch
+
+
+class TestHypercube:
+    def test_size(self):
+        assert Hypercube(0).size == 1
+        assert Hypercube(5).size == 32
+
+    def test_of_size(self):
+        assert Hypercube.of_size(64).dim == 6
+        with pytest.raises(ValueError):
+            Hypercube.of_size(48)
+
+    def test_distance_is_hamming(self):
+        h = Hypercube(4)
+        assert h.distance(0b0000, 0b1011) == 3
+        assert h.distance(5, 5) == 0
+
+    def test_neighbors(self):
+        h = Hypercube(3)
+        assert sorted(h.neighbors(0)) == [1, 2, 4]
+        assert all(h.distance(5, x) == 1 for x in h.neighbors(5))
+
+    def test_degree(self):
+        assert Hypercube(6).degree == 6
+
+    def test_node_range_checked(self):
+        with pytest.raises(ValueError):
+            Hypercube(2).distance(0, 4)
+
+    @given(st.integers(min_value=1, max_value=8), st.data())
+    def test_distance_symmetric_triangle(self, dim, data):
+        h = Hypercube(dim)
+        a = data.draw(st.integers(min_value=0, max_value=h.size - 1))
+        b = data.draw(st.integers(min_value=0, max_value=h.size - 1))
+        c = data.draw(st.integers(min_value=0, max_value=h.size - 1))
+        assert h.distance(a, b) == h.distance(b, a)
+        assert h.distance(a, c) <= h.distance(a, b) + h.distance(b, c)
+
+
+class TestMesh2D:
+    def test_coords_rank_roundtrip(self):
+        m = Mesh2D(3, 5)
+        for a in range(m.size):
+            r, c = m.coords(a)
+            assert m.rank(r, c) == a
+
+    def test_rank_wraps(self):
+        m = Mesh2D(3, 5)
+        assert m.rank(-1, 0) == m.rank(2, 0)
+        assert m.rank(0, 5) == m.rank(0, 0)
+
+    def test_distance_wraparound(self):
+        m = Mesh2D(4, 4, wraparound=True)
+        assert m.distance(m.rank(0, 0), m.rank(0, 3)) == 1
+        assert m.distance(m.rank(0, 0), m.rank(3, 3)) == 2
+
+    def test_distance_no_wraparound(self):
+        m = Mesh2D(4, 4, wraparound=False)
+        assert m.distance(m.rank(0, 0), m.rank(0, 3)) == 3
+        assert m.distance(m.rank(0, 0), m.rank(3, 3)) == 6
+
+    def test_neighbors_wrap(self):
+        m = Mesh2D(3, 3)
+        assert len(m.neighbors(m.rank(1, 1))) == 4
+        assert m.rank(0, 2) in m.neighbors(m.rank(0, 0))
+
+    def test_neighbors_no_wrap_corner(self):
+        m = Mesh2D(3, 3, wraparound=False)
+        assert sorted(m.neighbors(0)) == [m.rank(0, 1), m.rank(1, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 3)
+
+
+class TestFullyConnected:
+    def test_distance(self):
+        f = FullyConnected(8)
+        assert f.distance(0, 0) == 0
+        assert f.distance(0, 7) == 1
+
+    def test_neighbors(self):
+        f = FullyConnected(4)
+        assert sorted(f.neighbors(2)) == [0, 1, 3]
+        assert f.degree == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FullyConnected(0)
