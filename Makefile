@@ -1,4 +1,4 @@
-.PHONY: install test bench experiments examples lint clean
+.PHONY: install test bench bench-smoke experiments examples lint clean
 
 install:
 	pip install -e ".[test]"
@@ -8,6 +8,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -q
+
+bench-smoke:
+	python benchmarks/perf_guard.py --fast --out BENCH_PR1.json
 
 experiments:
 	python -m repro.experiments all --fast

@@ -1,0 +1,235 @@
+"""Performance guard: measure the fast paths against seed-style baselines.
+
+Three workloads are timed, each against a faithful replica of the seed
+implementation it replaced:
+
+* ``engine`` — one representative grid of simulations under the seed
+  ``rescan`` scheduler vs the event-driven ``ready`` scheduler.
+* ``sweep`` — the seed sweep loop (per-row ``A @ B`` verification,
+  rescan scheduler, no cache) vs the current harness (hoisted per-``n``
+  verification, ready scheduler, ``jobs`` workers).  The *pipeline*
+  numbers run the same grid twice — a sweep followed by a re-query, the
+  figure-regeneration / re-export scenario the shared result cache is
+  for — so the second pass is served from cache.
+* ``region_map`` — the seed per-cell ``best_algorithm`` Python loop vs
+  the vectorized ``winner_grid`` map, on the Figure 1 machine.
+
+Results land in ``BENCH_PR1.json`` together with pass/fail acceptance
+flags (pipeline sweep >= 3x, region_map >= 5x).  Run it directly::
+
+    python benchmarks/perf_guard.py [--fast] [--out BENCH_PR1.json]
+
+``--fast`` shrinks the grids for CI smoke runs (the speedups there are
+informational; acceptance is judged on the full grids).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.algorithms import registry  # noqa: E402
+from repro.core.cache import result_cache  # noqa: E402
+from repro.core.machine import NCUBE2_LIKE, MachineParams  # noqa: E402
+from repro.core.models import MODELS  # noqa: E402
+from repro.core.regions import best_algorithm, region_map  # noqa: E402
+from repro.experiments.sweep import sweep  # noqa: E402
+from repro.simulator import engine  # noqa: E402
+
+MACHINE = MachineParams(ts=10.0, tw=2.0)
+
+
+def _seed_style_sweep(algorithms, n_values, p_values, machine, seed=0, verify=True):
+    """The seed repository's sweep loop, verbatim: one sequential RNG,
+    per-row ``A @ B`` verification, no hoisting, no cache."""
+    rows = []
+    rng = np.random.default_rng(seed)
+    mats = {}
+    for n in n_values:
+        mats[n] = (rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+    for key in algorithms:
+        entry = registry.get(key)
+        model = MODELS[entry.model_key]
+        for n in n_values:
+            for p in p_values:
+                if not entry.feasible(n, p):
+                    continue
+                A, B = mats[n]
+                res = entry.run(A, B, p, machine=machine)
+                if verify and not np.allclose(res.C, A @ B):
+                    raise AssertionError(f"{key} wrong product at (n={n}, p={p})")
+                rows.append(
+                    {
+                        "algorithm": key,
+                        "n": n,
+                        "p": p,
+                        "T_sim": res.parallel_time,
+                        "T_model": model.time(n, p, machine),
+                        "efficiency_sim": res.efficiency,
+                        "efficiency_model": model.efficiency(n, p, machine),
+                        "overhead_sim": res.total_overhead,
+                        "messages": res.sim.total_messages,
+                        "words": res.sim.total_words,
+                    }
+                )
+    return rows
+
+
+def _seed_style_region_cells(machine, log2_p_max, log2_n_max):
+    """The seed region_map core: one Python ``best_algorithm`` call per cell."""
+    p_values = [float(2**k) for k in range(0, log2_p_max + 1)]
+    n_values = [float(2**k) for k in range(0, log2_n_max + 1)]
+    return [[best_algorithm(n, p, machine) for p in p_values] for n in n_values]
+
+
+def _with_scheduler(name: str, fn):
+    """Run *fn* with the module-default scheduler forced to *name*."""
+    prev = engine.DEFAULT_SCHEDULER
+    engine.DEFAULT_SCHEDULER = name
+    try:
+        return fn()
+    finally:
+        engine.DEFAULT_SCHEDULER = prev
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_engine(fast: bool, repeats: int) -> dict:
+    from repro.algorithms.cannon import run_cannon
+
+    n_values = (16, 32) if fast else (16, 32, 64)
+    p_values = (16, 64) if fast else (16, 64, 256)
+
+    def run_grid():
+        for n in n_values:
+            rng = np.random.default_rng(n)
+            A, B = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+            for p in p_values:
+                run_cannon(A, B, p, machine=MACHINE)
+
+    rescan = _time(lambda: _with_scheduler("rescan", run_grid), repeats)
+    ready = _time(lambda: _with_scheduler("ready", run_grid), repeats)
+    return {"rescan_s": rescan, "ready_s": ready, "speedup": rescan / ready}
+
+
+def bench_sweep(fast: bool, repeats: int, jobs: int) -> dict:
+    algorithms = ("cannon", "gk", "berntsen", "dns")
+    n_values = (8, 16) if fast else (16, 32, 64)
+    p_values = (4, 16, 64) if fast else (4, 16, 64, 256)
+
+    seed_once = _time(
+        lambda: _with_scheduler(
+            "rescan", lambda: _seed_style_sweep(algorithms, n_values, p_values, MACHINE)
+        ),
+        repeats,
+    )
+
+    def new_cold():
+        result_cache().clear()
+        sweep(algorithms, n_values, p_values, MACHINE, jobs=jobs)
+
+    cold = _time(new_cold, repeats)
+
+    # pipeline: sweep the grid, then re-query it (figure re-export). The
+    # seed pays two full passes; the cache serves the second one here.
+    pipeline_seed = 2.0 * seed_once
+
+    def new_pipeline():
+        result_cache().clear()
+        sweep(algorithms, n_values, p_values, MACHINE, jobs=jobs)
+        sweep(algorithms, n_values, p_values, MACHINE, jobs=jobs)
+
+    pipeline_new = _time(new_pipeline, repeats)
+    warm = _time(lambda: sweep(algorithms, n_values, p_values, MACHINE, jobs=jobs), repeats)
+
+    return {
+        "jobs": jobs,
+        "seed_style_s": seed_once,
+        "new_cold_s": cold,
+        "new_warm_s": warm,
+        "cold_speedup": seed_once / cold,
+        "pipeline_seed_s": pipeline_seed,
+        "pipeline_new_s": pipeline_new,
+        "pipeline_speedup": pipeline_seed / pipeline_new,
+    }
+
+
+def bench_region_map(fast: bool, repeats: int) -> dict:
+    log2_p_max, log2_n_max = (20, 10) if fast else (30, 16)
+    seed_s = _time(lambda: _seed_style_region_cells(NCUBE2_LIKE, log2_p_max, log2_n_max), repeats)
+
+    def vectorized():
+        region_map(NCUBE2_LIKE, log2_p_max=log2_p_max, log2_n_max=log2_n_max, cache=False)
+
+    vec_s = _time(vectorized, repeats)
+    return {
+        "machine": "ncube2-like (Figure 1)",
+        "seed_style_s": seed_s,
+        "vectorized_s": vec_s,
+        "speedup": seed_s / vec_s,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--fast", action="store_true", help="tiny grids for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="sweep worker processes (default: cpu count)")
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    report = {
+        "meta": {
+            "fast": args.fast,
+            "repeats": args.repeats,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "engine": bench_engine(args.fast, args.repeats),
+        "sweep": bench_sweep(args.fast, args.repeats, jobs),
+        "region_map": bench_region_map(args.fast, args.repeats),
+    }
+    report["acceptance"] = {
+        "sweep_pipeline_speedup_ge_3x": report["sweep"]["pipeline_speedup"] >= 3.0,
+        "region_map_speedup_ge_5x": report["region_map"]["speedup"] >= 5.0,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(f"engine:     rescan {report['engine']['rescan_s']:.3f}s  "
+          f"ready {report['engine']['ready_s']:.3f}s  "
+          f"speedup {report['engine']['speedup']:.2f}x")
+    print(f"sweep:      seed {report['sweep']['seed_style_s']:.3f}s  "
+          f"cold {report['sweep']['new_cold_s']:.3f}s ({report['sweep']['cold_speedup']:.2f}x)  "
+          f"warm {report['sweep']['new_warm_s']*1e3:.1f}ms  "
+          f"pipeline {report['sweep']['pipeline_speedup']:.2f}x")
+    print(f"region_map: seed {report['region_map']['seed_style_s']*1e3:.1f}ms  "
+          f"vectorized {report['region_map']['vectorized_s']*1e3:.2f}ms  "
+          f"speedup {report['region_map']['speedup']:.1f}x")
+    print(f"acceptance: {report['acceptance']}")
+    print(f"wrote {args.out}")
+    return 0 if all(report["acceptance"].values()) or args.fast else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

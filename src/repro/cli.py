@@ -111,6 +111,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--p-values", type=int, nargs="+", default=[4, 16, 64])
     p_sw.add_argument("--format", choices=("table", "csv", "json"), default="table")
     p_sw.add_argument("--out", type=str, default=None, help="write to a file")
+    p_sw.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the sweep (1 = serial)")
     _add_machine_args(p_sw)
 
     p_g = subs.add_parser("gantt", help="trace one run and render a Gantt chart")
@@ -212,7 +214,7 @@ def _cmd_sweep(args) -> str:
     from repro.experiments.sweep import rows_to_csv, rows_to_json, sweep
 
     machine = _machine_from_args(args)
-    rows = sweep(args.algorithms, args.n_values, args.p_values, machine)
+    rows = sweep(args.algorithms, args.n_values, args.p_values, machine, jobs=args.jobs)
     if args.format == "csv":
         text = rows_to_csv(rows)
     elif args.format == "json":

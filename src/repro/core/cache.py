@@ -1,0 +1,82 @@
+"""Process-wide keyed result cache for deterministic derived results.
+
+Everything this package computes is a pure function of hashable inputs:
+a sweep row is determined by ``(algorithm, n, p, machine, seed)``, a
+region map by the machine and its grid.  This module provides one small
+bounded LRU shared by the sweep harness (:mod:`repro.experiments.sweep`),
+the region analysis (:mod:`repro.core.regions`), and the CLI, so
+repeated derivations — regenerating a figure after a sweep, re-exporting
+the same grid in another format, interactive ``python -m repro``
+sessions — pay for the simulation once.
+
+Only immutable or never-mutated values should be cached (sweep rows are
+copied on the way out; :class:`~repro.core.regions.RegionMap` is
+frozen).  ``MachineParams`` is a frozen dataclass and therefore usable
+directly inside keys.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = ["ResultCache", "result_cache"]
+
+
+class ResultCache:
+    """A small thread-safe bounded LRU mapping hashable keys to results."""
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value for *key* (refreshing its LRU slot)."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert *key* -> *value*, evicting the least recently used entry."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters (for tests and the perf harness)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "size": len(self._data)}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+
+_GLOBAL = ResultCache()
+
+
+def result_cache() -> ResultCache:
+    """The process-wide cache shared by sweep, regions, and the CLI."""
+    return _GLOBAL

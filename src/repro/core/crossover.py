@@ -41,6 +41,25 @@ def _as_model(m: AlgorithmModel | str) -> AlgorithmModel:
     return MODELS[m] if isinstance(m, str) else m
 
 
+def _refine_crossing(ma, mb, p, machine, xs, vals) -> float | None:
+    """Brent-refine the first sign change of a sampled overhead difference."""
+
+    def diff(log_n: float) -> float:
+        n = math.exp(log_n)
+        return ma.overhead(n, p, machine) - mb.overhead(n, p, machine)
+
+    zero = np.nonzero(vals[:-1] == 0.0)[0]
+    cross = np.nonzero(vals[:-1] * vals[1:] < 0)[0]
+    first_zero = zero[0] if zero.size else len(xs)
+    first_cross = cross[0] if cross.size else len(xs)
+    if first_zero <= first_cross:
+        if first_zero == len(xs):
+            return None
+        return math.exp(xs[first_zero])
+    x0, x1 = xs[first_cross], xs[first_cross + 1]
+    return math.exp(brentq(diff, x0, x1, xtol=1e-12, rtol=1e-12))
+
+
 def equal_overhead_n(
     a: AlgorithmModel | str,
     b: AlgorithmModel | str,
@@ -52,24 +71,19 @@ def equal_overhead_n(
 ) -> float | None:
     """The matrix size at which ``T_o^a(n, p) == T_o^b(n, p)``, or ``None``.
 
-    Scans a logarithmic grid for a sign change of the overhead
-    difference and refines it with Brent's method.  Returns ``None``
-    when one algorithm dominates the whole range (no crossover).
+    Evaluates the overhead difference over a logarithmic grid in one
+    vectorized pass (the models' ``overhead_grid``), then refines the
+    first sign change with Brent's method.  Returns ``None`` when one
+    algorithm dominates the whole range (no crossover).
     """
     ma, mb = _as_model(a), _as_model(b)
-
-    def diff(log_n: float) -> float:
-        n = math.exp(log_n)
-        return ma.overhead(n, p, machine) - mb.overhead(n, p, machine)
-
     xs = np.linspace(math.log(n_lo), math.log(n_hi), 400)
-    vals = [diff(x) for x in xs]
-    for x0, x1, v0, v1 in zip(xs, xs[1:], vals, vals[1:]):
-        if v0 == 0.0:
-            return math.exp(x0)
-        if v0 * v1 < 0:
-            return math.exp(brentq(diff, x0, x1, xtol=1e-12, rtol=1e-12))
-    return None
+    ns = np.exp(xs)
+    with np.errstate(over="ignore", invalid="ignore"):
+        vals = np.asarray(
+            ma.overhead_grid(ns, float(p), machine) - mb.overhead_grid(ns, float(p), machine)
+        )
+    return _refine_crossing(ma, mb, p, machine, xs, vals)
 
 
 def cannon_gk_closed_form(p: float, machine: MachineParams) -> float | None:
@@ -115,16 +129,17 @@ def _dns_wins_somewhere(
     The strip is ``p^{1/3} <= n <= sqrt(p / r_min)``: ``n^2 <= p <= n^3``
     with the §4.5.2 blocking factor ``r = p/n^2`` at least *r_min*
     (``r > 1`` in the paper).  The overhead difference is not monotone in
-    *n* — DNS wins, if at all, in a middle band of the strip — so scan.
+    *n* — DNS wins, if at all, in a middle band of the strip — so scan
+    the whole strip in one vectorized evaluation.
     """
     dns, gk = MODELS["dns"], MODELS["gk"]
     n_lo, n_hi = p ** (1 / 3), math.sqrt(p / r_min)
     if n_hi < n_lo or n_hi < 1.0:
         return False
-    for n in np.geomspace(max(n_lo, 1.0), n_hi, samples):
-        if dns.overhead(n, p, machine) < gk.overhead(n, p, machine):
-            return True
-    return False
+    ns = np.geomspace(max(n_lo, 1.0), n_hi, samples)
+    with np.errstate(over="ignore", invalid="ignore"):
+        diff = dns.overhead_grid(ns, float(p), machine) - gk.overhead_grid(ns, float(p), machine)
+    return bool(np.any(diff < 0))
 
 
 def dns_beats_gk_max_procs(
@@ -168,6 +183,29 @@ def crossover_curve(
     b: AlgorithmModel | str,
     machine: MachineParams,
     p_values,
+    *,
+    n_lo: float = 1.0,
+    n_hi: float = 1e15,
 ) -> list[tuple[float, float | None]]:
-    """``n_EqualTo(p)`` sampled over *p_values* (the plain lines of Figs 1-3)."""
-    return [(float(p), equal_overhead_n(a, b, p, machine)) for p in p_values]
+    """``n_EqualTo(p)`` sampled over *p_values* (the plain lines of Figs 1-3).
+
+    The scan for sign changes is evaluated for *all* processor counts at
+    once on a ``(len(p_values), 400)`` overhead-difference grid; only
+    the per-*p* Brent refinement of a found bracket stays scalar.
+    """
+    ma, mb = _as_model(a), _as_model(b)
+    ps = [float(p) for p in p_values]
+    if not ps:
+        return []
+    xs = np.linspace(math.log(n_lo), math.log(n_hi), 400)
+    ns = np.exp(xs)[None, :]
+    p_col = np.asarray(ps)[:, None]
+    with np.errstate(over="ignore", invalid="ignore"):
+        diffs = np.asarray(
+            ma.overhead_grid(ns, p_col, machine) - mb.overhead_grid(ns, p_col, machine)
+        )
+    diffs = np.broadcast_to(diffs, (len(ps), xs.size))
+    return [
+        (p, _refine_crossing(ma, mb, p, machine, xs, diffs[i]))
+        for i, p in enumerate(ps)
+    ]

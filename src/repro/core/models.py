@@ -18,12 +18,23 @@ closed-form expressions:
 
 All logarithms are base 2 (hypercube dimensions).  ``W = n^3``
 throughout, per Section 5.
+
+Every expression is written against the polymorphic :func:`log2` helper
+and ``** 0.5``-style powers, so the same closed forms evaluate on
+scalars *and* on numpy arrays.  The grid entry points
+(:meth:`AlgorithmModel.time_grid`, :meth:`~AlgorithmModel.overhead_grid`,
+:meth:`~AlgorithmModel.applicable_grid`) accept broadcastable ``(n, p)``
+meshes and are what the region/crossover analysis and Figures 1-3 are
+built on — one array expression per model instead of one Python call
+per grid point.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+
+import numpy as np
 
 from repro.core.machine import MachineParams
 
@@ -43,8 +54,15 @@ __all__ = [
 ]
 
 
-def log2(x: float) -> float:
-    """Base-2 logarithm, clamped so ``log2`` of tiny/unit arguments is 0."""
+def log2(x):
+    """Base-2 logarithm, clamped so ``log2`` of tiny/unit arguments is 0.
+
+    Polymorphic: scalars take the fast :func:`math.log2` path, numpy
+    arrays evaluate elementwise (with the same clamp), which is what
+    lets every model expression below run unchanged on ``(n, p)`` grids.
+    """
+    if isinstance(x, np.ndarray):
+        return np.where(x > 1.0, np.log2(np.maximum(x, 1.0)), 0.0)
     return math.log2(x) if x > 1.0 else 0.0
 
 
@@ -87,6 +105,42 @@ class AlgorithmModel(ABC):
         self._validate(n, p)
         return {"total": p * self.comm_time(n, p, machine)}
 
+    # -- vectorized grid evaluation (Figures 1-3 hot path) -------------------------
+
+    def time_grid(self, n, p, machine: MachineParams):
+        """``T_p`` evaluated over broadcastable ``(n, p)`` arrays.
+
+        Accepts anything :func:`numpy.asarray` does; the result has the
+        broadcast shape of the inputs.  Identical expressions to
+        :meth:`time`, evaluated once per grid instead of per point.
+        """
+        n = np.asarray(n, dtype=float)
+        p = np.asarray(p, dtype=float)
+        self._validate(n, p)
+        return self.compute_time(n, p) + self.comm_time(n, p, machine)
+
+    def overhead_grid(self, n, p, machine: MachineParams):
+        """``T_o = p*T_p - W`` over broadcastable ``(n, p)`` arrays."""
+        n = np.asarray(n, dtype=float)
+        p = np.asarray(p, dtype=float)
+        terms = self.overhead_terms(n, p, machine)
+        return sum(terms.values())
+
+    def applicable_grid(self, n, p):
+        """Boolean mask of the Table 1 applicability range over a grid."""
+        n = np.asarray(n, dtype=float)
+        p = np.asarray(p, dtype=float)
+        return (self.min_procs(n) <= p) & (p <= self.max_procs(n))
+
+    def speedup_grid(self, n, p, machine: MachineParams):
+        """``S = W / T_p`` over broadcastable ``(n, p)`` arrays."""
+        n = np.asarray(n, dtype=float)
+        return n**3 / self.time_grid(n, p, machine)
+
+    def efficiency_grid(self, n, p, machine: MachineParams):
+        """``E = S / p`` over broadcastable ``(n, p)`` arrays."""
+        return self.speedup_grid(n, p, machine) / np.asarray(p, dtype=float)
+
     # -- derived metrics --------------------------------------------------------------
 
     def speedup(self, n: float, p: float, machine: MachineParams) -> float:
@@ -119,8 +173,9 @@ class AlgorithmModel(ABC):
         return p  # overridden where a limit binds (max_procs(n) = h(W))
 
     @staticmethod
-    def _validate(n: float, p: float) -> None:
-        if n <= 0 or p <= 0:
+    def _validate(n, p) -> None:
+        # np.any handles scalars and arrays alike
+        if np.any(n <= 0) or np.any(p <= 0):
             raise ValueError("n and p must be positive")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -136,13 +191,13 @@ class SimpleModel(AlgorithmModel):
     asymptotic_isoefficiency = "O(p^1.5)"
 
     def comm_time(self, n, p, machine):
-        return 2 * machine.ts * log2(p) + 2 * machine.tw * n**2 / math.sqrt(p)
+        return 2 * machine.ts * log2(p) + 2 * machine.tw * n**2 / p**0.5
 
     def overhead_terms(self, n, p, machine):
         self._validate(n, p)
         return {
             "ts": 2 * machine.ts * p * log2(p),
-            "tw": 2 * machine.tw * n**2 * math.sqrt(p),
+            "tw": 2 * machine.tw * n**2 * p**0.5,
         }
 
     def max_procs(self, n):
@@ -161,13 +216,13 @@ class CannonModel(AlgorithmModel):
     asymptotic_isoefficiency = "O(p^1.5)"
 
     def comm_time(self, n, p, machine):
-        return 2 * machine.ts * math.sqrt(p) + 2 * machine.tw * n**2 / math.sqrt(p)
+        return 2 * machine.ts * p**0.5 + 2 * machine.tw * n**2 / p**0.5
 
     def overhead_terms(self, n, p, machine):
         self._validate(n, p)
         return {
             "ts": 2 * machine.ts * p**1.5,
-            "tw": 2 * machine.tw * n**2 * math.sqrt(p),
+            "tw": 2 * machine.tw * n**2 * p**0.5,
         }
 
     def max_procs(self, n):
@@ -189,13 +244,13 @@ class FoxModel(AlgorithmModel):
     asymptotic_isoefficiency = "O(p^2)"
 
     def comm_time(self, n, p, machine):
-        return 2 * machine.tw * n**2 / math.sqrt(p) + machine.ts * p
+        return 2 * machine.tw * n**2 / p**0.5 + machine.ts * p
 
     def overhead_terms(self, n, p, machine):
         self._validate(n, p)
         return {
             "ts": machine.ts * p**2,
-            "tw": 2 * machine.tw * n**2 * math.sqrt(p),
+            "tw": 2 * machine.tw * n**2 * p**0.5,
         }
 
     def max_procs(self, n):
@@ -317,9 +372,9 @@ class GKImprovedModel(AlgorithmModel):
 
     def comm_time(self, n, p, machine):
         lg = log2(p)
-        if lg == 0:
+        if not isinstance(lg, np.ndarray) and lg == 0:
             return 0.0
-        m_sqrt = (n / p ** (1 / 3)) * math.sqrt(machine.ts * machine.tw * lg / 3)
+        m_sqrt = (n / p ** (1 / 3)) * (machine.ts * machine.tw * lg / 3) ** 0.5
         bcast = (
             4 * machine.tw * n**2 / p ** (2 / 3)
             + (4 / 3) * machine.ts * lg
@@ -330,7 +385,11 @@ class GKImprovedModel(AlgorithmModel):
             + (1 / 3) * machine.ts * lg
             + 2 * m_sqrt
         )
-        return bcast + gather
+        total = bcast + gather
+        if isinstance(lg, np.ndarray):
+            # the scalar guard above, elementwise: p = 1 means no broadcast
+            total = np.where(lg == 0, 0.0, total)
+        return total
 
     def overhead_terms(self, n, p, machine):
         self._validate(n, p)
@@ -338,7 +397,7 @@ class GKImprovedModel(AlgorithmModel):
         return {
             "ts": (5 / 3) * machine.ts * p * lg,
             "tw": 5 * machine.tw * n**2 * p ** (1 / 3),
-            "sqrt": 10 * n * p ** (2 / 3) * math.sqrt(machine.ts * machine.tw * lg / 3),
+            "sqrt": 10 * n * p ** (2 / 3) * (machine.ts * machine.tw * lg / 3) ** 0.5,
         }
 
     def max_procs(self, n):

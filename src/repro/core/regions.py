@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.cache import result_cache
 from repro.core.machine import MachineParams
 from repro.core.models import COMPARISON_MODELS, MODELS
 
@@ -27,6 +28,7 @@ __all__ = [
     "best_algorithm",
     "RegionMap",
     "region_map",
+    "winner_grid",
 ]
 
 #: The paper's region letters (Figures 1-3).
@@ -101,6 +103,39 @@ class RegionMap:
         return "\n".join(lines)
 
 
+def winner_grid(
+    machine: MachineParams,
+    n_values,
+    p_values,
+    model_keys: tuple[str, ...] = COMPARISON_MODELS,
+) -> np.ndarray:
+    """Index of the least-overhead applicable model at every grid cell.
+
+    Vectorized core of :func:`region_map`: one ``overhead_grid`` /
+    ``applicable_grid`` evaluation per model instead of one Python call
+    per ``(n, p)`` point.  Returns an ``(len(n_values), len(p_values))``
+    integer array indexing into *model_keys*, with ``len(model_keys)``
+    as the "no algorithm applicable" sentinel.  Ties and iteration order
+    match :func:`best_algorithm` exactly (first strict improvement
+    wins), so the two agree cell-for-cell.
+    """
+    n_arr = np.asarray(n_values, dtype=float)[:, None]
+    p_arr = np.asarray(p_values, dtype=float)[None, :]
+    shape = (n_arr.shape[0], p_arr.shape[1])
+    best_to = np.full(shape, np.inf)
+    winner = np.full(shape, len(model_keys), dtype=np.intp)
+    with np.errstate(over="ignore", invalid="ignore"):
+        for i, key in enumerate(model_keys):
+            model = MODELS[key]
+            to = np.broadcast_to(model.overhead_grid(n_arr, p_arr, machine), shape)
+            ok = np.broadcast_to(model.applicable_grid(n_arr, p_arr), shape)
+            cand = np.where(ok, to, np.inf)
+            better = cand < best_to
+            winner[better] = i
+            best_to = np.where(better, cand, best_to)
+    return winner
+
+
 def region_map(
     machine: MachineParams,
     *,
@@ -109,16 +144,29 @@ def region_map(
     p_step: int = 1,
     n_step: int = 1,
     model_keys: tuple[str, ...] = COMPARISON_MODELS,
+    cache: bool = True,
 ) -> RegionMap:
     """Compute a region map over a log-spaced ``(p, n)`` grid.
 
     Defaults cover the ranges plotted in the paper's Figures 1-3
-    (processors up to ~``2^30``, matrices up to ``2^16``).
+    (processors up to ~``2^30``, matrices up to ``2^16``).  The whole
+    plane is labelled with array operations (see :func:`winner_grid`);
+    with ``cache=True`` (the default) the finished map is memoized in
+    the process-wide result cache shared with the sweep harness and the
+    CLI, keyed on the machine, grid, and model set — :class:`RegionMap`
+    is immutable, so the cached instance is returned directly.
     """
+    cache_key = ("region_map", machine, log2_p_max, log2_n_max, p_step, n_step, model_keys)
+    if cache:
+        hit = result_cache().get(cache_key)
+        if hit is not None:
+            return hit
     p_values = tuple(float(2**k) for k in range(0, log2_p_max + 1, p_step))
     n_values = tuple(float(2**k) for k in range(0, log2_n_max + 1, n_step))
-    cells = tuple(
-        tuple(best_algorithm(n, p, machine, model_keys) for p in p_values)
-        for n in n_values
-    )
-    return RegionMap(machine=machine, p_values=p_values, n_values=n_values, cells=cells)
+    winners = winner_grid(machine, n_values, p_values, model_keys)
+    labels = tuple(model_keys) + ("x",)
+    cells = tuple(tuple(labels[w] for w in row) for row in winners)
+    rmap = RegionMap(machine=machine, p_values=p_values, n_values=n_values, cells=cells)
+    if cache:
+        result_cache().put(cache_key, rmap)
+    return rmap

@@ -25,7 +25,7 @@ from repro.experiments import (
 _EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "sec6", "sec7", "sec8", "validation", "scaling", "broadcast", "arch")
 
 
-def run_one(name: str, fast: bool = False) -> str:
+def run_one(name: str, fast: bool = False, jobs: int = 1) -> str:
     """Run one experiment and return its text report."""
     if name == "table1":
         return table1.format_text(table1.run())
@@ -34,10 +34,10 @@ def run_one(name: str, fast: bool = False) -> str:
         return figures123.format_text(figures123.run(name, p_step=step, n_step=step))
     if name == "fig4":
         sizes = (16, 48, 96, 144) if fast else figures45._FIG4_SIZES
-        return figures45.format_text(figures45.run_fig4(sizes=sizes))
+        return figures45.format_text(figures45.run_fig4(sizes=sizes, jobs=jobs))
     if name == "fig5":
         sizes = (66, 132, 264, 352) if fast else figures45._FIG5_SIZES
-        return figures45.format_text(figures45.run_fig5(sizes=sizes))
+        return figures45.format_text(figures45.run_fig5(sizes=sizes, jobs=jobs))
     if name == "sec6":
         return section6.format_text(section6.run())
     if name == "sec7":
@@ -64,12 +64,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment", choices=(*_EXPERIMENTS, "all"))
     parser.add_argument("--fast", action="store_true", help="coarser grids / fewer sizes")
     parser.add_argument("--out", type=str, default=None, help="write the report to a file")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for simulation-heavy experiments (1 = serial)")
     args = parser.parse_args(argv)
 
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     chunks = []
     for name in names:
-        chunks.append(f"==== {name} ====\n{run_one(name, fast=args.fast)}\n")
+        chunks.append(f"==== {name} ====\n{run_one(name, fast=args.fast, jobs=args.jobs)}\n")
     report = "\n".join(chunks)
     if args.out:
         with open(args.out, "w") as fh:

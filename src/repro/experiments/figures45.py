@@ -19,6 +19,7 @@ point is also numerically verified against ``A @ B``.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -77,6 +78,37 @@ def _model_crossover(p_gk: int, p_cannon: int, machine: MachineParams) -> float 
     return equal_overhead_n("gk-cm5", "cannon", p_gk, machine)
 
 
+def _sim_point(
+    n: int,
+    p_gk: int,
+    p_cannon: int,
+    machine: MachineParams,
+    seed: int,
+    verify: bool,
+) -> dict:
+    """One matrix size of a figure (module-level so it pickles to workers).
+
+    The RNG is seeded per ``(seed, n)``, so points are independent and a
+    parallel run produces the same rows as a serial one.
+    """
+    rng = np.random.default_rng((seed, n))
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    res_gk = run_gk_cm5(A, B, p_gk, machine=machine)
+    res_cn = run_cannon(A, B, p_cannon, machine=machine, topology=FullyConnected(p_cannon))
+    if verify:
+        expected = A @ B
+        if not np.allclose(res_gk.C, expected) or not np.allclose(res_cn.C, expected):
+            raise AssertionError(f"numerical mismatch at n={n}")
+    return {
+        "n": n,
+        "E_gk_sim": res_gk.efficiency,
+        "E_cannon_sim": res_cn.efficiency,
+        "E_gk_model": MODELS["gk-cm5"].efficiency(n, p_gk, machine),
+        "E_cannon_model": MODELS["cannon"].efficiency(n, p_cannon, machine),
+    }
+
+
 def _run_figure(
     figure: str,
     sizes,
@@ -87,27 +119,17 @@ def _run_figure(
     paper_measured: float | None,
     seed: int = 0,
     verify: bool = True,
+    jobs: int = 1,
 ) -> EfficiencyCurves:
-    rng = np.random.default_rng(seed)
-    rows = []
-    for n in sizes:
-        A = rng.standard_normal((n, n))
-        B = rng.standard_normal((n, n))
-        res_gk = run_gk_cm5(A, B, p_gk, machine=machine)
-        res_cn = run_cannon(A, B, p_cannon, machine=machine, topology=FullyConnected(p_cannon))
-        if verify:
-            expected = A @ B
-            if not np.allclose(res_gk.C, expected) or not np.allclose(res_cn.C, expected):
-                raise AssertionError(f"numerical mismatch at n={n}")
-        rows.append(
-            {
-                "n": n,
-                "E_gk_sim": res_gk.efficiency,
-                "E_cannon_sim": res_cn.efficiency,
-                "E_gk_model": MODELS["gk-cm5"].efficiency(n, p_gk, machine),
-                "E_cannon_model": MODELS["cannon"].efficiency(n, p_cannon, machine),
-            }
-        )
+    if jobs > 1 and len(sizes) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(sizes))) as pool:
+            futures = [
+                pool.submit(_sim_point, n, p_gk, p_cannon, machine, seed, verify)
+                for n in sizes
+            ]
+            rows = [f.result() for f in futures]
+    else:
+        rows = [_sim_point(n, p_gk, p_cannon, machine, seed, verify) for n in sizes]
     ns = [r["n"] for r in rows]
     cross_sim = _curve_crossing(ns, [r["E_gk_sim"] for r in rows], [r["E_cannon_sim"] for r in rows])
     return EfficiencyCurves(
@@ -121,14 +143,24 @@ def _run_figure(
     )
 
 
-def run_fig4(machine: MachineParams = CM5, sizes=_FIG4_SIZES, seed: int = 0) -> EfficiencyCurves:
+def run_fig4(
+    machine: MachineParams = CM5, sizes=_FIG4_SIZES, seed: int = 0, jobs: int = 1
+) -> EfficiencyCurves:
     """Figure 4: Cannon vs GK at ``p = 64`` on the simulated CM-5."""
-    return _run_figure("fig4", sizes, 64, 64, machine, paper_predicted=83.0, paper_measured=96.0, seed=seed)
+    return _run_figure(
+        "fig4", sizes, 64, 64, machine,
+        paper_predicted=83.0, paper_measured=96.0, seed=seed, jobs=jobs,
+    )
 
 
-def run_fig5(machine: MachineParams = CM5, sizes=_FIG5_SIZES, seed: int = 0) -> EfficiencyCurves:
+def run_fig5(
+    machine: MachineParams = CM5, sizes=_FIG5_SIZES, seed: int = 0, jobs: int = 1
+) -> EfficiencyCurves:
     """Figure 5: Cannon at ``p = 484`` vs GK at ``p = 512`` on the simulated CM-5."""
-    return _run_figure("fig5", sizes, 512, 484, machine, paper_predicted=295.0, paper_measured=None, seed=seed)
+    return _run_figure(
+        "fig5", sizes, 512, 484, machine,
+        paper_predicted=295.0, paper_measured=None, seed=seed, jobs=jobs,
+    )
 
 
 def format_text(result: EfficiencyCurves) -> str:

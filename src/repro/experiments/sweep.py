@@ -4,6 +4,17 @@ The generic workhorse behind custom studies: run any set of algorithms
 over a grid of matrix sizes and processor counts, collect uniform result
 rows (simulated and modeled metrics side by side), and export them for
 external tooling.
+
+Work is grouped into per-``n`` blocks so the operands and the serial
+reference product ``A @ B`` are generated once per matrix size and
+shared by every ``(algorithm, p)`` run at that size.  Blocks are
+independent — each draws its matrices from ``default_rng((seed, n))`` —
+so ``jobs > 1`` fans them out over a :class:`ProcessPoolExecutor`
+without changing any row.  Finished rows are memoized in the
+process-wide :func:`~repro.core.cache.result_cache`, keyed on
+``(algorithm, n, p, machine, seed, verify)``, so re-sweeping an
+overlapping grid (a figure re-export, a CLI re-query) only simulates
+the new combinations.
 """
 
 from __future__ import annotations
@@ -11,15 +22,57 @@ from __future__ import annotations
 import csv
 import io
 import json
+from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
 import numpy as np
 
 from repro.algorithms import registry
+from repro.core.cache import result_cache
 from repro.core.machine import MachineParams
 from repro.core.models import MODELS
 
 __all__ = ["sweep", "rows_to_csv", "rows_to_json"]
+
+
+def _simulate_block(
+    n: int,
+    combos: Sequence[tuple[str, int]],
+    machine: MachineParams,
+    seed: int,
+    verify: bool,
+) -> list[dict]:
+    """Simulate every ``(algorithm, p)`` in *combos* at one matrix size.
+
+    Module-level so it pickles into worker processes.  The RNG is seeded
+    with ``(seed, n)`` — independent of which block ran before it — so
+    serial and parallel sweeps see identical matrices.
+    """
+    rng = np.random.default_rng((seed, n))
+    A, B = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+    C_ref = A @ B if verify else None
+    rows: list[dict] = []
+    for key, p in combos:
+        entry = registry.get(key)
+        model = MODELS[entry.model_key]
+        res = entry.run(A, B, p, machine=machine)
+        if verify and not np.allclose(res.C, C_ref):
+            raise AssertionError(f"{key} wrong product at (n={n}, p={p})")
+        rows.append(
+            {
+                "algorithm": key,
+                "n": n,
+                "p": p,
+                "T_sim": res.parallel_time,
+                "T_model": model.time(n, p, machine),
+                "efficiency_sim": res.efficiency,
+                "efficiency_model": model.efficiency(n, p, machine),
+                "overhead_sim": res.total_overhead,
+                "messages": res.sim.total_messages,
+                "words": res.sim.total_words,
+            }
+        )
+    return rows
 
 
 def sweep(
@@ -31,48 +84,65 @@ def sweep(
     seed: int = 0,
     verify: bool = True,
     skip_infeasible: bool = True,
+    jobs: int = 1,
+    cache: bool = True,
 ) -> list[dict]:
     """Simulate every feasible ``(algorithm, n, p)`` combination.
 
     Returns one row per run with simulated time/efficiency/overhead, the
-    model's predictions, and message/word counts.  Infeasible
-    combinations are skipped (or raise, with ``skip_infeasible=False``).
-    Matrices are regenerated per *n* from a seeded RNG so rows are
-    reproducible.
+    model's predictions, and message/word counts, in algorithm-major
+    order.  Infeasible combinations are skipped (or raise, with
+    ``skip_infeasible=False``).  Matrices are regenerated per *n* from a
+    seeded RNG so rows are reproducible; with ``jobs > 1`` the per-``n``
+    blocks run in worker processes, and with ``cache=True`` previously
+    simulated rows are served from the shared result cache.  The row
+    list is the same for every ``(jobs, cache)`` combination.
     """
-    rows: list[dict] = []
-    rng = np.random.default_rng(seed)
-    mats: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-    for n in n_values:
-        mats[n] = (rng.standard_normal((n, n)), rng.standard_normal((n, n)))
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    order: list[tuple[str, int, int]] = []
     for key in algorithms:
         entry = registry.get(key)
-        model = MODELS[entry.model_key]
         for n in n_values:
             for p in p_values:
                 if not entry.feasible(n, p):
                     if skip_infeasible:
                         continue
                     raise ValueError(f"{key} infeasible at (n={n}, p={p})")
-                A, B = mats[n]
-                res = entry.run(A, B, p, machine=machine)
-                if verify and not np.allclose(res.C, A @ B):
-                    raise AssertionError(f"{key} wrong product at (n={n}, p={p})")
-                rows.append(
-                    {
-                        "algorithm": key,
-                        "n": n,
-                        "p": p,
-                        "T_sim": res.parallel_time,
-                        "T_model": model.time(n, p, machine),
-                        "efficiency_sim": res.efficiency,
-                        "efficiency_model": model.efficiency(n, p, machine),
-                        "overhead_sim": res.total_overhead,
-                        "messages": res.sim.total_messages,
-                        "words": res.sim.total_words,
-                    }
-                )
-    return rows
+                order.append((key, int(n), int(p)))
+
+    store = result_cache()
+    done: dict[tuple[str, int, int], dict] = {}
+    todo: dict[int, list[tuple[str, int]]] = {}
+    for key, n, p in order:
+        hit = store.get(("sweep-row", key, n, p, machine, seed, verify)) if cache else None
+        if hit is not None:
+            done[(key, n, p)] = hit
+        else:
+            todo.setdefault(n, []).append((key, p))
+
+    if todo:
+        if jobs > 1 and len(todo) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+                futures = [
+                    pool.submit(_simulate_block, n, combos, machine, seed, verify)
+                    for n, combos in todo.items()
+                ]
+                blocks = [f.result() for f in futures]
+        else:
+            blocks = [
+                _simulate_block(n, combos, machine, seed, verify)
+                for n, combos in todo.items()
+            ]
+        for rows in blocks:
+            for row in rows:
+                key_np = (row["algorithm"], row["n"], row["p"])
+                done[key_np] = row
+                if cache:
+                    store.put(("sweep-row", *key_np, machine, seed, verify), row)
+
+    # copies, so callers mutating a row never corrupt the cache
+    return [dict(done[c]) for c in order]
 
 
 def rows_to_csv(rows: list[dict]) -> str:

@@ -26,6 +26,31 @@ Timing model (Section 2 of the paper):
 The engine reports :class:`SimResult`: per-rank stats, the parallel time
 ``T_p = max_r finish_time(r)``, and derived speedup/efficiency/overhead
 given the serial work ``W``.
+
+Scheduling
+----------
+
+Because programs are deterministic and sends never block on the
+receiver, the simulation is *confluent*: final clocks and payloads do
+not depend on the order ranks are stepped in.  Two schedulers exploit
+that freedom differently:
+
+* ``"ready"`` (default) — event-driven.  Runnable ranks sit in a ready
+  queue; a rank blocked on ``Recv`` is parked in a wakeup map keyed by
+  its mailbox channel and revisited only when a matching message is
+  deposited, and ranks blocked on ``Barrier`` are merely counted.  Each
+  rank is touched O(#requests + #wakeups) times, and with tracing off
+  the hot loop allocates no trace events and formats no labels.
+* ``"rescan"`` — the original round-robin "run until blocked" loop,
+  which rescans every pending rank each pass (O(p) per pass even when
+  only one rank can move).  It is retained verbatim as the reference
+  implementation: the fuzz suite asserts the two schedulers produce
+  bit-identical clocks, and ``benchmarks/perf_guard.py`` uses it as the
+  performance baseline.
+
+``link_contention`` mode always uses the rescan scheduler: link
+reservations are granted in deterministic scheduler order, so the
+reference order is part of that mode's contract.
 """
 
 from __future__ import annotations
@@ -41,7 +66,15 @@ from repro.simulator.request import Barrier, Compute, Recv, Request, Send, SendA
 from repro.simulator.topology import Topology
 from repro.simulator.trace import RankStats, Trace, TraceEvent
 
-__all__ = ["RankInfo", "SimResult", "Engine", "run_spmd"]
+__all__ = ["RankInfo", "SimResult", "Engine", "run_spmd", "DEFAULT_SCHEDULER", "SCHEDULERS"]
+
+#: Known scheduling strategies (see the module docstring).
+SCHEDULERS: tuple[str, ...] = ("ready", "rescan")
+
+#: Process-wide default used when ``Engine(scheduler=None)``.  Benchmarks
+#: flip this to ``"rescan"`` to time the seed scheduler without plumbing
+#: an option through every algorithm driver.
+DEFAULT_SCHEDULER: str = "ready"
 
 
 @dataclass(frozen=True)
@@ -134,6 +167,7 @@ class Engine:
         trace: bool = False,
         max_trace_events: int = 1_000_000,
         link_contention: bool = False,
+        scheduler: str | None = None,
     ):
         self.topology = topology
         self.machine = machine
@@ -144,8 +178,13 @@ class Engine:
         #: conflict-free patterns, and this mode lets tests verify that.
         self.link_contention = link_contention
         self.links: LinkReservations | None = None
+        if scheduler is not None and scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {scheduler!r}; known: {SCHEDULERS}")
+        self.scheduler = scheduler
         # mailboxes[(src, dst, tag)] -> FIFO of (arrival_time, payload, nwords)
         self._mail: dict[tuple[int, int, int], deque] = {}
+        # (src, dst) -> hop count, filled lazily (repeated pairs dominate)
+        self._dist: dict[tuple[int, int], int] = {}
 
     # -- public API -----------------------------------------------------------------
 
@@ -171,9 +210,39 @@ class Engine:
             for r, f in enumerate(factories)
         ]
         self._mail.clear()
+        self._dist.clear()
         self.links = LinkReservations() if self.link_contention else None
 
-        pending = set(range(p))
+        scheduler = self.scheduler or DEFAULT_SCHEDULER
+        if self.link_contention:
+            # reservation order is defined by the reference scheduler
+            scheduler = "rescan"
+        if scheduler == "ready":
+            self._run_ready(states)
+        else:
+            self._run_rescan(states)
+
+        stats = [s.stats for s in states]
+        for s in states:
+            s.stats.finish_time = s.clock
+        t_p = max((s.clock for s in states), default=0.0)
+        return SimResult(
+            parallel_time=t_p,
+            stats=stats,
+            returns=[s.retval for s in states],
+            trace=self.trace,
+            nprocs=p,
+        )
+
+    # -- scheduling internals ---------------------------------------------------------
+
+    def _run_rescan(self, states: list[_RankState]) -> None:
+        """The seed round-robin scheduler: rescan every pending rank each pass.
+
+        Kept verbatim as the reference implementation; the fuzz suite
+        asserts the ready-queue scheduler matches it bit-for-bit.
+        """
+        pending = set(range(len(states)))
         while pending:
             progressed = False
             for r in sorted(pending):
@@ -192,19 +261,148 @@ class Engine:
                     }
                 )
 
-        stats = [s.stats for s in states]
-        for s in states:
-            s.stats.finish_time = s.clock
-        t_p = max((s.clock for s in states), default=0.0)
-        return SimResult(
-            parallel_time=t_p,
-            stats=stats,
-            returns=[s.retval for s in states],
-            trace=self.trace,
-            nprocs=p,
-        )
+    def _run_ready(self, states: list[_RankState]) -> None:
+        """Event-driven fast path: ready queue + per-channel wakeup map.
 
-    # -- scheduling internals ---------------------------------------------------------
+        A rank leaves the ready queue only by finishing or blocking; a
+        rank blocked on ``Recv`` is parked under its mailbox key and
+        re-enqueued by the send that feeds it, and ranks blocked on
+        ``Barrier`` are only counted.  The arithmetic matches the rescan
+        scheduler expression-for-expression so clocks are bit-identical.
+        Cost-model parameters, mailboxes, and hop distances are hoisted
+        into locals, and with tracing off no :class:`TraceEvent` (nor its
+        label string) is ever constructed.
+        """
+        machine = self.machine
+        ts, tw, th = machine.ts, machine.tw, machine.th
+        cut_through = machine.routing == "ct"
+        topo = self.topology
+        size = topo.size
+        distance = topo.distance
+        dist = self._dist
+        mail = self._mail
+        tracing = self.trace.enabled
+        record = self.trace.record
+
+        ready = deque(range(len(states)))
+        waiting: dict[tuple[int, int, int], int] = {}  # mailbox key -> parked rank
+        barrier_blocked = 0
+        active = len(states)
+
+        while active:
+            while ready:
+                r = ready.popleft()
+                st = states[r]
+                stats = st.stats
+                clock = st.clock
+                value = None
+                blocked = st.blocked_on
+                if blocked is not None:
+                    # woken by a deposit on this channel: complete the Recv
+                    arrival, value, nwords = mail[(blocked.src, r, blocked.tag)].popleft()
+                    if tracing:
+                        end = arrival if arrival > clock else clock
+                        record(TraceEvent(r, clock, end, "recv",
+                                          f"<-{blocked.src} {nwords}w", tag=blocked.tag))
+                    if arrival > clock:
+                        stats.recv_wait_time += arrival - clock
+                        clock = arrival
+                    st.blocked_on = None
+                gen_send = st.gen.send
+                while True:
+                    try:
+                        req = gen_send(value)
+                    except StopIteration as stop:
+                        st.done = True
+                        st.retval = stop.value
+                        active -= 1
+                        break
+                    value = None
+                    cls = req.__class__
+                    if cls is Compute:
+                        cost = req.cost
+                        if tracing:
+                            record(TraceEvent(r, clock, clock + cost, "compute", req.label))
+                        stats.compute_time += cost
+                        clock += cost
+                    elif cls is Recv:
+                        key = (req.src, r, req.tag)
+                        q = mail.get(key)
+                        if q:
+                            arrival, value, nwords = q.popleft()
+                            if tracing:
+                                end = arrival if arrival > clock else clock
+                                record(TraceEvent(r, clock, end, "recv",
+                                                  f"<-{req.src} {nwords}w", tag=req.tag))
+                            if arrival > clock:
+                                stats.recv_wait_time += arrival - clock
+                                clock = arrival
+                        else:
+                            st.blocked_on = req
+                            waiting[key] = r
+                            break
+                    elif cls is Send:
+                        dst = req.dst
+                        if not 0 <= dst < size:
+                            raise ProgramError(f"rank {r} sent to invalid rank {dst}")
+                        pair = (r, dst)
+                        hops = dist.get(pair)
+                        if hops is None:
+                            hops = dist[pair] = max(distance(r, dst), 1)
+                        nwords = req.nwords
+                        # same expressions as MachineParams.transfer_time /
+                        # sender_busy_time, hoisted out of the method calls
+                        if cut_through:
+                            duration = ts + tw * nwords + th * hops
+                        else:
+                            duration = ts + (tw * nwords + th) * hops
+                        busy = ts + tw * nwords
+                        arrival = clock + duration
+                        key = (r, dst, req.tag)
+                        q = mail.get(key)
+                        if q is None:
+                            q = mail[key] = deque()
+                        q.append((arrival, req.data, nwords))
+                        stats.messages_sent += 1
+                        stats.words_sent += nwords
+                        stats.send_time += busy
+                        if tracing:
+                            record(TraceEvent(r, clock, clock + busy, "send",
+                                              f"->{dst} {nwords}w", tag=req.tag))
+                        clock = clock + busy
+                        woken = waiting.pop(key, None)
+                        if woken is not None:
+                            ready.append(woken)
+                    elif cls is SendAll:
+                        st.clock = clock
+                        self._do_send_all(st, r, req)
+                        clock = st.clock
+                        for m in req.messages:
+                            woken = waiting.pop((r, m.dst, m.tag), None)
+                            if woken is not None:
+                                ready.append(woken)
+                    elif cls is Barrier:
+                        st.blocked_on = req
+                        barrier_blocked += 1
+                        break
+                    else:
+                        raise ProgramError(f"rank {r} yielded unsupported request {req!r}")
+                st.clock = clock
+                st.send_value = None
+            if not active:
+                return
+            if barrier_blocked == active:
+                self._try_release_barrier(states)
+                barrier_blocked = 0
+                ready.extend(r for r, s in enumerate(states) if not s.done)
+            else:
+                raise DeadlockError(
+                    {
+                        r: repr(states[r].blocked_on)
+                        for r in range(len(states))
+                        if not states[r].done and states[r].blocked_on is not None
+                    }
+                )
 
     def _step_until_blocked(self, states: list[_RankState], r: int) -> bool:
         """Advance rank *r* until it finishes or blocks; return True on any progress."""
@@ -340,6 +538,7 @@ def run_spmd(
     factory: ProgramFactory | Iterable[ProgramFactory],
     *,
     trace: bool = False,
+    scheduler: str | None = None,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`Engine`."""
-    return Engine(topology, machine, trace=trace).run(factory)
+    return Engine(topology, machine, trace=trace, scheduler=scheduler).run(factory)

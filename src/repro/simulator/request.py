@@ -3,7 +3,11 @@
 A rank program is a Python generator.  It performs simulated work by
 yielding request objects to the :class:`~repro.simulator.engine.Engine`,
 which charges the modeled cost and (for :class:`Recv`) resumes the
-generator with the received payload:
+generator with the received payload.  Requests are plain ``slots``
+dataclasses rather than frozen ones: they are constructed on the
+simulator's hottest path, and frozen-dataclass construction pays an
+``object.__setattr__`` per field.  The engine never mutates a request,
+and programs must not reuse one after yielding it:
 
 .. code-block:: python
 
@@ -24,7 +28,7 @@ from typing import Any, Sequence
 __all__ = ["Compute", "Send", "SendAll", "Recv", "Barrier", "Request"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Compute:
     """Charge *cost* basic-operation units of local computation time."""
 
@@ -36,7 +40,7 @@ class Compute:
             raise ValueError("compute cost must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Send:
     """Send *data* (*nwords* words) to rank *dst*.
 
@@ -56,7 +60,7 @@ class Send:
             raise ValueError("nwords must be non-negative")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class SendAll:
     """Send several messages "at once".
 
@@ -75,7 +79,7 @@ class SendAll:
             raise ValueError("SendAll messages must target distinct destinations")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Recv:
     """Block until a message from rank *src* with matching *tag* arrives.
 
@@ -87,7 +91,7 @@ class Recv:
     tag: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Barrier:
     """Synchronize all ranks: every clock jumps to the global maximum."""
 

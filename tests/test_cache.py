@@ -1,0 +1,79 @@
+"""Tests for the process-wide keyed result cache."""
+
+import threading
+
+import pytest
+
+from repro.core.cache import ResultCache, result_cache
+
+
+class TestResultCache:
+    def test_get_put_roundtrip(self):
+        c = ResultCache()
+        assert c.get("k") is None
+        assert c.get("k", default=0) == 0
+        c.put("k", 42)
+        assert c.get("k") == 42
+        assert "k" in c
+        assert len(c) == 1
+
+    def test_lru_eviction_order(self):
+        c = ResultCache(maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # refresh a; b is now least recent
+        c.put("c", 3)
+        assert "a" in c and "c" in c
+        assert "b" not in c
+
+    def test_stats_and_clear(self):
+        c = ResultCache()
+        c.put("k", 1)
+        c.get("k")
+        c.get("missing")
+        assert c.stats() == {"hits": 1, "misses": 1, "size": 1}
+        c.clear()
+        assert c.stats() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            ResultCache(maxsize=0)
+
+    def test_overwrite_same_key(self):
+        c = ResultCache()
+        c.put("k", 1)
+        c.put("k", 2)
+        assert c.get("k") == 2
+        assert len(c) == 1
+
+    def test_concurrent_put_get(self):
+        c = ResultCache(maxsize=64)
+
+        def worker(base):
+            for i in range(200):
+                c.put((base, i % 50), i)
+                c.get((base, (i + 1) % 50))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(c) <= 64
+
+
+class TestGlobalCache:
+    def test_singleton(self):
+        assert result_cache() is result_cache()
+
+    def test_shared_across_modules(self):
+        # regions and sweep memoize into the same instance
+        from repro.core.regions import region_map
+        from repro.core.machine import NCUBE2_LIKE
+
+        result_cache().clear()
+        region_map(NCUBE2_LIKE, log2_p_max=8, log2_n_max=5)
+        assert any(
+            isinstance(k, tuple) and k and k[0] == "region_map"
+            for k in list(result_cache()._data)
+        )

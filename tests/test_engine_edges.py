@@ -164,3 +164,36 @@ class TestReturnsAndStats:
     def test_hypercube_mismatched_program_count(self):
         with pytest.raises(ValueError):
             Engine(Hypercube(2), M).run([lambda i: iter(())] * 3)
+
+
+class TestSchedulerSelection:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(FullyConnected(2), M, scheduler="optimistic")
+
+    def test_run_spmd_scheduler_passthrough(self):
+        def prog(info):
+            if info.rank == 0:
+                yield Send(dst=1, data="x", nwords=3)
+            else:
+                got = yield Recv(src=0)
+                assert got == "x"
+            yield Barrier()
+
+        r1 = run_spmd(FullyConnected(2), M, prog, scheduler="ready")
+        r2 = run_spmd(FullyConnected(2), M, prog, scheduler="rescan")
+        assert r1.parallel_time == r2.parallel_time
+        assert r1.stats == r2.stats
+
+    def test_link_contention_uses_rescan(self):
+        # reservation order is part of the contention contract; the
+        # engine must fall back to the reference scheduler silently
+        def prog(info):
+            if info.rank == 0:
+                yield Send(dst=1, data=None, nwords=4)
+            else:
+                yield Recv(src=0)
+
+        eng = Engine(FullyConnected(2), M, link_contention=True, scheduler="ready")
+        res = eng.run([prog, prog])
+        assert res.total_messages == 1

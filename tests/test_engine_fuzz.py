@@ -3,7 +3,10 @@
 Generates random-but-matched communication schedules (every send has a
 corresponding receive) and checks the engine's global invariants:
 no deadlock, clock monotonicity, exact payload delivery, conservation
-of messages/words, and determinism.
+of messages/words, and determinism.  The same schedules also drive the
+scheduler-equivalence property: the event-driven ``ready`` scheduler
+must produce bit-identical clocks, stats, and return values to the
+reference ``rescan`` scheduler on every program.
 """
 
 import numpy as np
@@ -12,17 +15,20 @@ from hypothesis import strategies as st
 
 from repro.core.machine import MachineParams
 from repro.simulator.engine import Engine
-from repro.simulator.request import Compute, Recv, Send
+from repro.simulator.request import Barrier, Compute, Recv, Send
 from repro.simulator.topology import FullyConnected, Hypercube
 
 
-def _build_schedule(rng: np.random.Generator, p: int, nops: int):
+def _build_schedule(rng: np.random.Generator, p: int, nops: int, barriers: bool = False):
     """A random schedule of matched sends/recvs plus computes.
 
     Returns per-rank op lists.  Messages are generated in a global
     causal order (sender op appended before receiver op), which a
     round-robin engine must be able to execute without deadlock as long
-    as receives on each rank happen in the order generated.
+    as receives on each rank happen in the order generated.  With
+    *barriers*, global barriers are occasionally appended to every rank
+    at once — matched pairs are always complete before a barrier, so
+    the schedule stays deadlock-free.
     """
     ops: list[list[tuple]] = [[] for _ in range(p)]
     msg_id = 0
@@ -40,6 +46,9 @@ def _build_schedule(rng: np.random.Generator, p: int, nops: int):
             ops[src].append(("send", dst, msg_id, nwords))
             ops[dst].append(("recv", src, msg_id))
             msg_id += 1
+        if barriers and rng.integers(8) == 0:
+            for rank_ops in ops:
+                rank_ops.append(("barrier",))
     return ops
 
 
@@ -54,6 +63,8 @@ def _factory_for(ops):
                     elif op[0] == "send":
                         _, dst, mid, nwords = op
                         yield Send(dst=dst, data=("msg", mid), nwords=nwords, tag=mid)
+                    elif op[0] == "barrier":
+                        yield Barrier()
                     else:
                         _, src, mid = op
                         data = yield Recv(src=src, tag=mid)
@@ -104,6 +115,53 @@ def test_fuzz_determinism(seed, nops):
     r2 = Engine(Hypercube(2), machine).run(_factory_for(ops))
     assert r1.parallel_time == r2.parallel_time
     assert [s.finish_time for s in r1.stats] == [s.finish_time for s in r2.stats]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    p=st.sampled_from([2, 4, 8]),
+    nops=st.integers(min_value=1, max_value=60),
+    ts=st.floats(min_value=0.0, max_value=100.0),
+    routing=st.sampled_from(["sf", "ct"]),
+    barriers=st.booleans(),
+    topo=st.sampled_from(["full", "hypercube"]),
+)
+def test_schedulers_bit_identical(seed, p, nops, ts, routing, barriers, topo):
+    """The ready scheduler is clock-identical to the seed rescan scheduler.
+
+    Not approximately equal — bit-identical: both paths must perform the
+    same float operations in the same order per rank, so parallel_time,
+    every per-rank stats field, and the programs' return values match
+    exactly on arbitrary matched schedules with and without barriers.
+    """
+    rng = np.random.default_rng(seed)
+    ops = _build_schedule(rng, p, nops, barriers=barriers)
+    machine = MachineParams(ts=ts, tw=1.7, th=0.3, routing=routing)
+    make_topo = (lambda: FullyConnected(p)) if topo == "full" else (
+        lambda: Hypercube(int(np.log2(p)))
+    )
+    r_ready = Engine(make_topo(), machine, scheduler="ready").run(_factory_for(ops))
+    r_rescan = Engine(make_topo(), machine, scheduler="rescan").run(_factory_for(ops))
+    assert r_ready.parallel_time == r_rescan.parallel_time
+    assert r_ready.stats == r_rescan.stats
+    assert r_ready.returns == r_rescan.returns
+    assert r_ready.total_messages == r_rescan.total_messages
+    assert r_ready.total_words == r_rescan.total_words
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_schedulers_identical_traces(seed):
+    """With tracing on, both schedulers emit the same per-rank event timings."""
+    rng = np.random.default_rng(seed)
+    ops = _build_schedule(rng, 4, 30, barriers=True)
+    machine = MachineParams(ts=3.0, tw=2.0)
+    r1 = Engine(FullyConnected(4), machine, trace=True, scheduler="ready").run(_factory_for(ops))
+    r2 = Engine(FullyConnected(4), machine, trace=True, scheduler="rescan").run(_factory_for(ops))
+    for rank in range(4):
+        e1, e2 = r1.trace.for_rank(rank), r2.trace.for_rank(rank)
+        assert [(e.start, e.end, e.kind) for e in e1] == [(e.start, e.end, e.kind) for e in e2]
 
 
 @settings(max_examples=15, deadline=None)

@@ -55,3 +55,51 @@ class TestExport:
         parsed = json.loads(rows_to_json(rows))
         assert parsed[0]["n"] == 8
         assert parsed[0]["efficiency_sim"] == pytest.approx(rows[0]["efficiency_sim"])
+
+
+class TestSweepModes:
+    """jobs= and cache= must not change a single row."""
+
+    def _grid(self, **kw):
+        return sweep(["cannon", "gk", "simple"], [8, 16], [4, 8, 16], M, **kw)
+
+    def test_parallel_matches_serial(self):
+        assert self._grid(cache=False, jobs=3) == self._grid(cache=False, jobs=1)
+
+    def test_cached_matches_uncached(self):
+        from repro.core.cache import result_cache
+
+        result_cache().clear()
+        cold = self._grid()
+        warm = self._grid()
+        assert cold == warm == self._grid(cache=False)
+        # the warm pass was served entirely from cache
+        assert result_cache().stats()["hits"] >= len(warm)
+
+    def test_rows_are_copies(self):
+        from repro.core.cache import result_cache
+
+        result_cache().clear()
+        first = self._grid()
+        first[0]["T_sim"] = -1.0
+        assert self._grid()[0]["T_sim"] != -1.0
+
+    def test_cache_keyed_on_machine_and_seed(self):
+        from repro.core.cache import result_cache
+
+        result_cache().clear()
+        base = self._grid()
+        other_m = sweep(["cannon"], [8], [4], MachineParams(ts=99.0, tw=1.0))
+        assert other_m[0]["T_sim"] != base[0]["T_sim"]
+        misses_before = result_cache().stats()["misses"]
+        sweep(["cannon", "gk", "simple"], [8, 16], [4, 8, 16], M, seed=1)
+        assert result_cache().stats()["misses"] > misses_before
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            sweep(["cannon"], [8], [4], M, jobs=0)
+
+    def test_hoisted_verify_still_catches_wrong_results(self):
+        # verification still runs per row (against the shared reference)
+        rows = self._grid(cache=False, verify=True)
+        assert rows == self._grid(cache=False, verify=False)
