@@ -6,6 +6,17 @@ install:
 test:
 	pytest tests/ -q
 
+# Domain static analysis (repro.analysis) + strict typing for the core
+# and analysis layers.  mypy is optional locally (the analysis pass is
+# pure stdlib); CI installs it and runs the full gate.
+lint:
+	PYTHONPATH=src python -m repro.analysis --output analysis_report.json src/repro
+	@if python -c "import mypy" >/dev/null 2>&1; then \
+		python -m mypy src/repro/core src/repro/analysis; \
+	else \
+		echo "mypy not installed; skipping type check (pip install mypy, or rely on CI)"; \
+	fi
+
 bench:
 	pytest benchmarks/ --benchmark-only -q
 

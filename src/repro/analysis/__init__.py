@@ -1,0 +1,40 @@
+"""Domain static analysis for the repro codebase itself.
+
+An AST-based lint that machine-checks the invariants the reproduction
+relies on: determinism of the simulator and sweep pipeline (DET0xx),
+scalar/grid and unit consistency of the analytic models (MOD0xx), and
+hygiene of the engine hot path (ENG0xx).  Run it as::
+
+    python -m repro.analysis src/repro            # text report, exit 1 on findings
+    python -m repro.analysis --format json src/repro
+    python -m repro.analysis --list-rules
+
+or from Python via :func:`analyze_paths` / :func:`analyze_source`.
+See ``docs/static_analysis.md`` for the rule catalogue and the
+``# repro: ignore[RULE]`` suppression syntax.
+"""
+
+from repro.analysis.core import (
+    RULES,
+    AnalysisReport,
+    Finding,
+    ModuleSource,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    register,
+)
+from repro.analysis import rules_determinism, rules_engine, rules_models  # noqa: F401  (registers rules)
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModuleSource",
+    "Rule",
+    "RULES",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "register",
+]

@@ -1,0 +1,106 @@
+"""Small AST helpers shared by the rule catalogue."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "ImportMap",
+    "dotted_name",
+    "call_name",
+    "decorator_name",
+    "walk_functions",
+    "attribute_roots",
+]
+
+
+class ImportMap:
+    """Which local names are bound to which modules/objects by imports.
+
+    ``modules`` maps a local name to the dotted module it aliases
+    (``import numpy as np`` -> ``{"np": "numpy"}``); ``objects`` maps a
+    local name to the dotted origin of a ``from`` import
+    (``from time import perf_counter as pc`` ->
+    ``{"pc": "time.perf_counter"}``).
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.modules: dict[str, str] = {}
+        self.objects: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.modules[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.objects[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """The fully-qualified dotted origin of *node*, if import-derived.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``;
+        a bare name imported with ``from x import y`` resolves to ``x.y``.
+        Returns ``None`` for names with no import binding.
+        """
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.modules:
+            base = self.modules[head]
+            return f"{base}.{rest}" if rest else base
+        if head in self.objects:
+            base = self.objects[head]
+            return f"{base}.{rest}" if rest else base
+        return None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name a call invokes, if statically nameable."""
+    return dotted_name(node.func)
+
+
+def decorator_name(node: ast.expr) -> str | None:
+    """Name of a decorator, unwrapping a call: ``@dataclass(slots=True)`` -> ``dataclass``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    return dotted_name(node)
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def attribute_roots(node: ast.AST, base: str) -> set[str]:
+    """Attributes read off name *base* anywhere under *node*.
+
+    ``attribute_roots(expr, "machine")`` -> ``{"ts", "tw"}`` for an
+    expression mentioning ``machine.ts`` and ``machine.tw``.
+    """
+    found: set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == base
+        ):
+            found.add(sub.attr)
+    return found

@@ -1,0 +1,101 @@
+"""``python -m repro.analysis`` — run the domain lint over a source tree.
+
+Exit status: 0 when no unsuppressed finding (and no parse error), 1
+otherwise, 2 for usage errors — so ``make lint`` and CI gate on it
+directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.core import RULES, AnalysisReport, _load_rule_modules, analyze_paths
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & model-consistency static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="also write the JSON report to FILE (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _format_text(report: AnalysisReport) -> str:
+    lines = [f.format() for f in report.findings]
+    lines += [f"parse error: {err}" for err in report.parse_errors]
+    tail = (
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} suppressed, "
+        f"{report.files_checked} file(s) checked"
+    )
+    lines.append(f"OK — {tail}" if report.ok else tail)
+    return "\n".join(lines)
+
+
+def _list_rules() -> str:
+    _load_rule_modules()
+    lines = []
+    for rule in RULES.values():
+        scope = f" [{', '.join(rule.path_filter)}]" if rule.path_filter else ""
+        lines.append(f"{rule.rule_id}  {rule.name:<20} {rule.description}{scope}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        report = analyze_paths(args.paths, select=select, ignore=ignore)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(_format_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,289 @@
+"""Rule framework for the repo's domain static analysis.
+
+The analysis pass (:mod:`repro.analysis`) lints this repository's *own*
+source for invariants the test-suite relies on but cannot enforce
+syntactically: determinism of the simulator, scalar/grid consistency of
+the analytic models, and hygiene of the engine hot path.  This module is
+the framework; the rule catalogue lives in the ``rules_*`` modules.
+
+Concepts
+--------
+
+* :class:`ModuleSource` — one parsed file: path, text, AST, and the
+  per-line suppression table.
+* :class:`Finding` — one violation: rule id, location, message.
+* :class:`Rule` — a check.  Subclass it, set ``rule_id``/``name``/
+  ``description``, implement :meth:`Rule.check`, and decorate with
+  :func:`register`.  ``path_filter`` (a substring tuple) scopes a rule
+  to parts of the tree.
+* :func:`analyze_paths` / :func:`analyze_source` — entry points used by
+  the CLI and the tests.
+
+Suppression
+-----------
+
+A finding is suppressed by a trailing comment on the flagged line::
+
+    t = time.time()  # repro: ignore[DET002] -- wall clock ok in this report
+
+``# repro: ignore`` with no bracket suppresses every rule on that line.
+Suppressed findings are dropped from the report (and from the exit
+status) but counted, so the CLI can surface how many were waived.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "ModuleSource",
+    "Rule",
+    "RULES",
+    "register",
+    "iter_python_files",
+    "analyze_source",
+    "analyze_paths",
+    "AnalysisReport",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    name: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} [{self.name}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class ModuleSource:
+    """One file under analysis: source text, AST, and suppression table."""
+
+    def __init__(self, path: str | Path, text: str):
+        self.path = str(path)
+        self.text = text
+        self.tree = ast.parse(text, filename=self.path)
+        #: line -> frozenset of suppressed rule ids ("*" means all rules)
+        self.suppressions: dict[int, frozenset[str]] = _scan_suppressions(text)
+
+    @property
+    def posix_path(self) -> str:
+        """The path with forward slashes, for ``path_filter`` matching."""
+        return self.path.replace("\\", "/")
+
+    @property
+    def filename(self) -> str:
+        return Path(self.path).name
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        ids = self.suppressions.get(line)
+        return ids is not None and ("*" in ids or rule_id in ids)
+
+
+def _scan_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids waived by a ``# repro: ignore`` comment.
+
+    Tokenized rather than regexed over raw lines so a suppression-shaped
+    string literal does not silence the line it sits on.
+    """
+    table: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if not m:
+                continue
+            if m.group(1) is None:
+                ids = frozenset({"*"})
+            else:
+                ids = frozenset(s.strip() for s in m.group(1).split(",") if s.strip())
+            table[tok.start[0]] = table.get(tok.start[0], frozenset()) | ids
+    except tokenize.TokenError:  # pragma: no cover - ast.parse already raised
+        pass
+    return table
+
+
+class Rule(ABC):
+    """One invariant check over a parsed module."""
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    #: substrings (posix separators); the rule runs only on paths
+    #: containing at least one of them.  Empty tuple = every file.
+    path_filter: tuple[str, ...] = ()
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        if not self.path_filter:
+            return True
+        p = module.posix_path
+        return any(part in p for part in self.path_filter)
+
+    @abstractmethod
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        """Yield findings for *module* (already scoped by ``applies_to``)."""
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            name=self.name,
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: Every registered rule, by id, in registration order.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding an instance of *cls* to :data:`RULES`."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must set rule_id")
+    if cls.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULES[cls.rule_id] = cls()
+    return cls
+
+
+def _selected_rules(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> list[Rule]:
+    _load_rule_modules()
+    chosen = list(RULES.values())
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        chosen = [r for r in chosen if r.rule_id in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        unknown = dropped - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        chosen = [r for r in chosen if r.rule_id not in dropped]
+    return chosen
+
+
+def _load_rule_modules() -> None:
+    """Import the rule catalogue (idempotent; registration is import-time)."""
+    from repro.analysis import rules_determinism, rules_engine, rules_models  # noqa: F401
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "parse_errors": list(self.parse_errors),
+        }
+
+
+def analyze_module(module: ModuleSource, rules: Iterable[Rule]) -> tuple[list[Finding], list[Finding]]:
+    """Run *rules* over one module; return (active, suppressed) findings."""
+    active: list[Finding] = []
+    waived: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(module):
+            continue
+        for f in rule.check(module):
+            if module.is_suppressed(f.rule_id, f.line):
+                waived.append(f)
+            else:
+                active.append(f)
+    return active, waived
+
+
+def analyze_source(
+    text: str,
+    path: str = "<string>",
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Analyze one source string; used heavily by the rule unit tests."""
+    module = ModuleSource(path, text)
+    active, _ = analyze_module(module, _selected_rules(select, ignore))
+    return active
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(q for q in p.rglob("*.py") if "__pycache__" not in q.parts)
+        elif p.suffix == ".py":
+            yield p
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {p}")
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> AnalysisReport:
+    """Analyze every ``.py`` file under *paths* and aggregate a report."""
+    rules = _selected_rules(select, ignore)
+    report = AnalysisReport()
+    for file in iter_python_files(paths):
+        try:
+            module = ModuleSource(file, file.read_text(encoding="utf-8"))
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{file}: {exc.msg} (line {exc.lineno})")
+            continue
+        report.files_checked += 1
+        active, waived = analyze_module(module, rules)
+        report.findings.extend(active)
+        report.suppressed.extend(waived)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    report.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return report

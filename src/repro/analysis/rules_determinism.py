@@ -1,0 +1,292 @@
+"""Determinism rules (DET0xx).
+
+PR 1 made the repo's correctness claims hinge on reproducibility: sweep
+rows must be identical for every ``(jobs, cache)`` combination, the two
+simulator schedulers must stay bit-identical, and every figure must
+regenerate byte-for-byte from a ``(seed, n)`` key.  These rules ban the
+constructs that silently break that — hidden global RNG state, wall
+clocks in modeled time, and iteration order leaking out of unordered
+sets.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import ImportMap, decorator_name, dotted_name
+from repro.analysis.core import Finding, ModuleSource, Rule, register
+
+__all__ = [
+    "UnseededRngRule",
+    "WallClockRule",
+    "SetIterationRule",
+    "MutableDefaultRule",
+]
+
+#: ``random`` module functions that touch the hidden module-global RNG.
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "seed", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "lognormvariate", "getrandbits", "randbytes",
+}
+
+#: legacy ``numpy.random`` functions that touch the global ``RandomState``.
+_GLOBAL_NP_RANDOM_FNS = {
+    "rand", "randn", "randint", "random", "random_sample", "seed",
+    "shuffle", "permutation", "choice", "uniform", "normal",
+    "standard_normal", "binomial", "poisson", "exponential",
+}
+
+_WALL_CLOCK_FNS = {
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+
+@register
+class UnseededRngRule(Rule):
+    """DET001: no unseeded or module-global random number generation.
+
+    Every random draw in this repo must come from an explicitly seeded
+    generator object (``np.random.default_rng((seed, n))`` style) so
+    sweep rows, figures, and fuzz cases replay exactly.  Flags:
+
+    * ``random.Random()`` / ``np.random.RandomState()`` /
+      ``np.random.default_rng()`` constructed without a seed,
+    * any call into the module-global RNGs (``random.random()``,
+      ``np.random.seed()``, ...), seeded or not — global state leaks
+      across call sites and executors,
+    * ``random.SystemRandom`` — OS entropy is nondeterministic by design.
+    """
+
+    rule_id = "DET001"
+    name = "unseeded-rng"
+    description = "random draws must come from explicitly seeded generator objects"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.resolve(node.func)
+            if origin is None:
+                continue
+            seedless = not node.args and not node.keywords
+            if origin == "random.Random" and seedless:
+                yield self.finding(module, node, "random.Random() without a seed")
+            elif origin.startswith("random.SystemRandom"):
+                yield self.finding(module, node, "SystemRandom draws OS entropy (nondeterministic)")
+            elif origin.startswith("random.") and origin.split(".")[1] in _GLOBAL_RANDOM_FNS:
+                yield self.finding(
+                    module, node,
+                    f"{origin}() uses the module-global RNG; use a seeded random.Random object",
+                )
+            elif origin == "numpy.random.default_rng" and seedless:
+                yield self.finding(module, node, "default_rng() without a seed")
+            elif origin == "numpy.random.RandomState" and seedless:
+                yield self.finding(module, node, "RandomState() without a seed")
+            elif origin.startswith("numpy.random.") and origin.split(".")[2] in _GLOBAL_NP_RANDOM_FNS:
+                yield self.finding(
+                    module, node,
+                    f"{origin}() uses numpy's global RandomState; use default_rng(seed)",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """DET002: no wall-clock reads inside the simulator or analysis core.
+
+    Simulated/modeled time is counted in basic-op units; mixing in host
+    wall-clock values makes results machine- and load-dependent.  (The
+    benchmark harness under ``benchmarks/`` is outside this rule's
+    scope on purpose — timing the host is its job.)
+    """
+
+    rule_id = "DET002"
+    name = "wall-clock"
+    description = "no time.time()/datetime.now() in repro/simulator or repro/core"
+    path_filter = ("repro/simulator/", "repro/core/")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.resolve(node.func)
+            if origin in _WALL_CLOCK_FNS:
+                yield self.finding(
+                    module, node,
+                    f"{origin}() reads the host wall clock; simulated time must "
+                    "come from the engine's logical clocks",
+                )
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _scoped_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk *scope* without descending into nested function scopes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_set_expr(node: ast.expr | None) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in ("set", "frozenset")
+    return False
+
+
+def _set_locals(scope: ast.AST) -> set[str]:
+    """Names bound to set-valued expressions within one scope (no nesting)."""
+    names: set[str] = set()
+    for stmt in _scoped_walk(scope):
+        if isinstance(stmt, ast.Assign) and _is_set_expr(stmt.value):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    names.add(tgt.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if _is_set_expr(stmt.value) or _annotation_is_set(stmt.annotation):
+                names.add(stmt.target.id)
+    return names
+
+
+def _annotation_is_set(node: ast.expr) -> bool:
+    base = node.value if isinstance(node, ast.Subscript) else node
+    name = dotted_name(base)
+    return name in ("set", "frozenset", "Set", "FrozenSet", "typing.Set", "typing.FrozenSet")
+
+
+@register
+class SetIterationRule(Rule):
+    """DET003: no direct iteration over unordered sets.
+
+    ``for x in some_set`` (or a comprehension over one) visits elements
+    in hash order, which depends on the interpreter build and on element
+    history; when that order reaches a :class:`SimResult`, a trace, or a
+    report row, runs stop being reproducible.  Iterate ``sorted(s)``
+    instead, or keep the collection a list/dict (both are ordered).
+    ``set.pop()`` is flagged for the same reason.
+    """
+
+    rule_id = "DET003"
+    name = "set-iteration"
+    description = "iterate sorted(s), not a raw set; set order is unspecified"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        scopes: list[ast.AST] = [module.tree]
+        scopes.extend(
+            n for n in ast.walk(module.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            set_locals = _set_locals(scope)
+
+            def is_raw_set(expr: ast.expr) -> bool:
+                return _is_set_expr(expr) or (
+                    isinstance(expr, ast.Name) and expr.id in set_locals
+                )
+
+            for node in _scoped_walk(scope):
+                if isinstance(node, ast.For) and is_raw_set(node.iter):
+                    yield self.finding(
+                        module, node.iter,
+                        "iterating a set; order is unspecified — use sorted(...)",
+                    )
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    for gen in node.generators:
+                        if is_raw_set(gen.iter):
+                            yield self.finding(
+                                module, gen.iter,
+                                "comprehension over a set; order is unspecified — use sorted(...)",
+                            )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "pop"
+                    and not node.args
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in set_locals
+                ):
+                    yield self.finding(
+                        module, node, "set.pop() removes an arbitrary element"
+                    )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """DET004: no shared mutable defaults on dataclass fields.
+
+    A field default that is (or aliases) a mutable container is shared
+    by every instance; mutation in one simulation bleeds into the next.
+    ``field(default_factory=...)`` is the sanctioned form.  The stdlib
+    catches bare ``list``/``dict``/``set`` literals at class-creation
+    time, but not aliases of module-level containers nor exotic mutable
+    types — this rule catches all of them at lint time.
+    """
+
+    rule_id = "DET004"
+    name = "mutable-default"
+    description = "dataclass fields must use default_factory, not shared mutable defaults"
+
+    _MUTABLE_CALLS = ("list", "dict", "set", "bytearray", "collections.deque", "deque",
+                      "collections.defaultdict", "defaultdict")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        shared = self._module_level_mutables(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(decorator_name(d) == "dataclass" for d in node.decorator_list):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign) or stmt.value is None:
+                    continue
+                default = stmt.value
+                if (
+                    isinstance(default, ast.Call)
+                    and dotted_name(default.func) == "field"
+                ):
+                    kw = next((k for k in default.keywords if k.arg == "default"), None)
+                    if kw is not None:
+                        default = kw.value
+                    else:
+                        continue
+                if self._is_mutable(default, shared):
+                    yield self.finding(
+                        module, stmt,
+                        "dataclass field default is a shared mutable object; "
+                        "use field(default_factory=...)",
+                    )
+
+    def _is_mutable(self, node: ast.expr, shared: set[str]) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and dotted_name(node.func) in self._MUTABLE_CALLS:
+            return True
+        return isinstance(node, ast.Name) and node.id in shared
+
+    def _module_level_mutables(self, tree: ast.AST) -> set[str]:
+        names: set[str] = set()
+        assert isinstance(tree, ast.Module)
+        for stmt in tree.body:
+            value = None
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, targets = stmt.value, [stmt.target]
+            if value is not None and self._is_mutable(value, set()):
+                names.update(t.id for t in targets if isinstance(t, ast.Name))
+        return names

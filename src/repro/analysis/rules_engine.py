@@ -1,0 +1,148 @@
+"""Engine-hygiene rules (ENG0xx).
+
+The simulator's hot loop is the one place in the repo where micro-level
+conventions are load-bearing: request objects are constructed per
+simulated message (ENG001 keeps them ``slots``), the trace layer is the
+single source of timing truth (ENG002 confines its construction), and
+logical clocks are accumulated floats (ENG003 bans exact equality on
+them — two schedulers that agree to within rounding must not branch
+differently on a ``==``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astutil import decorator_name, dotted_name
+from repro.analysis.core import Finding, ModuleSource, Rule, register
+
+__all__ = [
+    "RequestSlotsRule",
+    "TraceConstructionRule",
+    "FloatClockEqualityRule",
+]
+
+
+@register
+class RequestSlotsRule(Rule):
+    """ENG001: request dataclasses must declare ``__slots__``.
+
+    Requests are constructed on the simulator's hottest path (one per
+    message); ``@dataclass(slots=True)`` keeps them dict-free and makes
+    accidental attribute creation (a typo'd field in a program) an
+    ``AttributeError`` instead of silent state.
+    """
+
+    rule_id = "ENG001"
+    name = "request-slots"
+    description = "dataclasses in simulator/request.py must pass slots=True"
+    path_filter = ("request.py",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for dec in node.decorator_list:
+                if decorator_name(dec) != "dataclass":
+                    continue
+                slotted = isinstance(dec, ast.Call) and any(
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in dec.keywords
+                )
+                has_slots_attr = any(
+                    isinstance(stmt, ast.Assign)
+                    and any(
+                        isinstance(t, ast.Name) and t.id == "__slots__"
+                        for t in stmt.targets
+                    )
+                    for stmt in node.body
+                )
+                if not slotted and not has_slots_attr:
+                    yield self.finding(
+                        module, node,
+                        f"request dataclass {node.name} must declare __slots__ "
+                        "(use @dataclass(slots=True))",
+                    )
+
+
+@register
+class TraceConstructionRule(Rule):
+    """ENG002: trace-layer objects are constructed only by the trace layer.
+
+    ``TraceEvent``/``RankStats``/``Trace`` instances found anywhere else
+    are synthetic timing data — a report or experiment fabricating
+    events that never went through the engine's clock accounting.
+    ``engine.py`` is allowed: it owns the trace lifecycle and is the
+    sole producer of real events.
+    """
+
+    rule_id = "ENG002"
+    name = "trace-construction"
+    description = "TraceEvent/RankStats/Trace built only in simulator/trace.py and engine.py"
+
+    _CLASSES = ("TraceEvent", "RankStats", "Trace")
+    _ALLOWED_FILES = ("trace.py", "engine.py")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.filename in self._ALLOWED_FILES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name.split(".")[-1] in self._CLASSES:
+                yield self.finding(
+                    module, node,
+                    f"{name}(...) constructed outside the trace layer; only "
+                    "simulator/trace.py and engine.py may fabricate timing objects",
+                )
+
+
+@register
+class FloatClockEqualityRule(Rule):
+    """ENG003: no ``==``/``!=`` on simulated clocks.
+
+    Clocks are sums of float costs; exact equality between two
+    accumulations is representation-dependent.  Branching on it is how
+    two semantically identical schedulers end up diverging.  Compare
+    with ``<``/``>`` (event ordering) or an explicit tolerance.
+    """
+
+    rule_id = "ENG003"
+    name = "float-clock-eq"
+    description = "no == / != between clock-valued expressions in the simulator"
+    path_filter = ("repro/simulator/",)
+
+    _CLOCK_NAMES = ("clock", "arrival", "start", "end", "t_p", "deadline")
+    _CLOCK_SUFFIXES = ("_time", "_clock", "_at")
+
+    def _is_clock_expr(self, node: ast.expr) -> bool:
+        ident: str | None = None
+        if isinstance(node, ast.Name):
+            ident = node.id
+        elif isinstance(node, ast.Attribute):
+            ident = node.attr
+        if ident is None:
+            return False
+        ident = ident.lower()
+        return ident in self._CLOCK_NAMES or ident.endswith(self._CLOCK_SUFFIXES)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_clock_expr(left) or self._is_clock_expr(right):
+                    yield self.finding(
+                        module, node,
+                        "exact ==/!= on a simulated clock value; use ordering "
+                        "comparisons or an explicit tolerance",
+                    )

@@ -18,6 +18,7 @@ isoefficiency of the all-port variants no better than the one-port ones:
 from __future__ import annotations
 
 import math
+from typing import Any
 
 from repro.core.machine import MachineParams
 from repro.core.models import AlgorithmModel, log2
@@ -38,13 +39,13 @@ class SimpleAllPortModel(AlgorithmModel):
     equation = "(16)"
     asymptotic_isoefficiency = "O(p^1.5 (log p)^3)"  # effective, via message-size bound
 
-    def comm_time(self, n, p, machine):
+    def comm_time(self, n: float, p: float, machine: MachineParams) -> float:
         lg = log2(p)
         if lg == 0:
             return 0.0
         return 2 * machine.tw * n**2 / (math.sqrt(p) * lg) + 0.5 * machine.ts * lg
 
-    def overhead_terms(self, n, p, machine):
+    def overhead_terms(self, n: float, p: float, machine: MachineParams) -> dict[str, float]:
         self._validate(n, p)
         lg = max(log2(p), 1e-12)
         return {
@@ -52,10 +53,10 @@ class SimpleAllPortModel(AlgorithmModel):
             "tw": 2 * machine.tw * n**2 * math.sqrt(p) / lg,
         }
 
-    def max_procs(self, n):
+    def max_procs(self, n: float) -> float:
         return n**2
 
-    def concurrency_isoefficiency(self, p, machine=None):
+    def concurrency_isoefficiency(self, p: float, machine: MachineParams | None = None) -> float:
         # channel-utilization bound: n >= sqrt(p) * log p / 2  (Section 7.1)
         return (p**1.5) * log2(p) ** 3 / 8
 
@@ -72,7 +73,7 @@ class GKAllPortModel(AlgorithmModel):
     equation = "(17)"
     asymptotic_isoefficiency = "O(p (log p)^3)"  # effective, via message-size bound
 
-    def comm_time(self, n, p, machine):
+    def comm_time(self, n: float, p: float, machine: MachineParams) -> float:
         lg = log2(p)
         if lg == 0:
             return 0.0
@@ -82,7 +83,7 @@ class GKAllPortModel(AlgorithmModel):
             + 6 * (n / p ** (1 / 3)) * math.sqrt(machine.ts * machine.tw)
         )
 
-    def overhead_terms(self, n, p, machine):
+    def overhead_terms(self, n: float, p: float, machine: MachineParams) -> dict[str, float]:
         self._validate(n, p)
         lg = max(log2(p), 1e-12)
         return {
@@ -91,10 +92,10 @@ class GKAllPortModel(AlgorithmModel):
             "sqrt": 6 * n * p ** (2 / 3) * math.sqrt(machine.ts * machine.tw),
         }
 
-    def max_procs(self, n):
+    def max_procs(self, n: float) -> float:
         return n**3
 
-    def concurrency_isoefficiency(self, p, machine=None):
+    def concurrency_isoefficiency(self, p: float, machine: MachineParams | None = None) -> float:
         # message-size lower bound => W grows as p (log p)^3 (Section 7.2)
         return p * log2(p) ** 3
 

@@ -21,6 +21,7 @@ Section 6:
 from __future__ import annotations
 
 import math
+from typing import Sequence
 
 import numpy as np
 from scipy.optimize import brentq
@@ -41,7 +42,14 @@ def _as_model(m: AlgorithmModel | str) -> AlgorithmModel:
     return MODELS[m] if isinstance(m, str) else m
 
 
-def _refine_crossing(ma, mb, p, machine, xs, vals) -> float | None:
+def _refine_crossing(
+    ma: AlgorithmModel,
+    mb: AlgorithmModel,
+    p: float,
+    machine: MachineParams,
+    xs: np.ndarray,
+    vals: np.ndarray,
+) -> float | None:
     """Brent-refine the first sign change of a sampled overhead difference."""
 
     def diff(log_n: float) -> float:
@@ -182,7 +190,7 @@ def crossover_curve(
     a: AlgorithmModel | str,
     b: AlgorithmModel | str,
     machine: MachineParams,
-    p_values,
+    p_values: Sequence[float],
     *,
     n_lo: float = 1.0,
     n_hi: float = 1e15,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 from scipy.optimize import brentq
@@ -42,7 +43,7 @@ _N_LO = 1e-9
 _N_HI = 1e30
 
 
-def _balance(to_of_n, K: float) -> float:
+def _balance(to_of_n: Callable[[float], float], K: float) -> float:
     """Solve ``n^3 = K * T_o(n)`` for ``n`` (``T_o`` nondecreasing in n)."""
 
     def f(log_n: float) -> float:
@@ -130,8 +131,8 @@ def isoefficiency_curve(
 
 
 def fit_growth_exponent(
-    p_values,
-    w_values,
+    p_values: Sequence[float],
+    w_values: Sequence[float],
     log_power: float = 0,
 ) -> float:
     """Least-squares slope of ``log(W / (log2 p)^log_power)`` against ``log p``.

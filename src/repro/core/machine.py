@@ -27,6 +27,7 @@ Presets match the parameter sets the paper analyses:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 __all__ = [
     "MachineParams",
@@ -97,7 +98,7 @@ class MachineParams:
 
     # -- convenience ----------------------------------------------------------------
 
-    def with_(self, **kwargs) -> "MachineParams":
+    def with_(self, **kwargs: Any) -> "MachineParams":
         """A copy of these parameters with some fields replaced."""
         return replace(self, **kwargs)
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from typing import Any
 
 import numpy as np
 
@@ -54,7 +55,7 @@ __all__ = [
 ]
 
 
-def log2(x):
+def log2(x: Any) -> Any:
     """Base-2 logarithm, clamped so ``log2`` of tiny/unit arguments is 0.
 
     Polymorphic: scalars take the fast :func:`math.log2` path, numpy
@@ -107,7 +108,7 @@ class AlgorithmModel(ABC):
 
     # -- vectorized grid evaluation (Figures 1-3 hot path) -------------------------
 
-    def time_grid(self, n, p, machine: MachineParams):
+    def time_grid(self, n: Any, p: Any, machine: MachineParams) -> np.ndarray:
         """``T_p`` evaluated over broadcastable ``(n, p)`` arrays.
 
         Accepts anything :func:`numpy.asarray` does; the result has the
@@ -117,27 +118,28 @@ class AlgorithmModel(ABC):
         n = np.asarray(n, dtype=float)
         p = np.asarray(p, dtype=float)
         self._validate(n, p)
-        return self.compute_time(n, p) + self.comm_time(n, p, machine)
+        # the scalar-typed hooks evaluate elementwise on arrays by design
+        return self.compute_time(n, p) + self.comm_time(n, p, machine)  # type: ignore[arg-type]
 
-    def overhead_grid(self, n, p, machine: MachineParams):
+    def overhead_grid(self, n: Any, p: Any, machine: MachineParams) -> np.ndarray:
         """``T_o = p*T_p - W`` over broadcastable ``(n, p)`` arrays."""
         n = np.asarray(n, dtype=float)
         p = np.asarray(p, dtype=float)
-        terms = self.overhead_terms(n, p, machine)
-        return sum(terms.values())
+        terms = self.overhead_terms(n, p, machine)  # type: ignore[arg-type]
+        return sum(terms.values())  # type: ignore[return-value]
 
-    def applicable_grid(self, n, p):
+    def applicable_grid(self, n: Any, p: Any) -> np.ndarray:
         """Boolean mask of the Table 1 applicability range over a grid."""
         n = np.asarray(n, dtype=float)
         p = np.asarray(p, dtype=float)
-        return (self.min_procs(n) <= p) & (p <= self.max_procs(n))
+        return (self.min_procs(n) <= p) & (p <= self.max_procs(n))  # type: ignore[arg-type]
 
-    def speedup_grid(self, n, p, machine: MachineParams):
+    def speedup_grid(self, n: Any, p: Any, machine: MachineParams) -> np.ndarray:
         """``S = W / T_p`` over broadcastable ``(n, p)`` arrays."""
         n = np.asarray(n, dtype=float)
         return n**3 / self.time_grid(n, p, machine)
 
-    def efficiency_grid(self, n, p, machine: MachineParams):
+    def efficiency_grid(self, n: Any, p: Any, machine: MachineParams) -> np.ndarray:
         """``E = S / p`` over broadcastable ``(n, p)`` arrays."""
         return self.speedup_grid(n, p, machine) / np.asarray(p, dtype=float)
 
@@ -173,7 +175,7 @@ class AlgorithmModel(ABC):
         return p  # overridden where a limit binds (max_procs(n) = h(W))
 
     @staticmethod
-    def _validate(n, p) -> None:
+    def _validate(n: Any, p: Any) -> None:
         # np.any handles scalars and arrays alike
         if np.any(n <= 0) or np.any(p <= 0):
             raise ValueError("n and p must be positive")
@@ -190,20 +192,20 @@ class SimpleModel(AlgorithmModel):
     equation = "(2)"
     asymptotic_isoefficiency = "O(p^1.5)"
 
-    def comm_time(self, n, p, machine):
+    def comm_time(self, n: float, p: float, machine: MachineParams) -> float:
         return 2 * machine.ts * log2(p) + 2 * machine.tw * n**2 / p**0.5
 
-    def overhead_terms(self, n, p, machine):
+    def overhead_terms(self, n: float, p: float, machine: MachineParams) -> dict[str, float]:
         self._validate(n, p)
         return {
             "ts": 2 * machine.ts * p * log2(p),
             "tw": 2 * machine.tw * n**2 * p**0.5,
         }
 
-    def max_procs(self, n):
+    def max_procs(self, n: float) -> float:
         return n**2
 
-    def concurrency_isoefficiency(self, p, machine=None):
+    def concurrency_isoefficiency(self, p: float, machine: MachineParams | None = None) -> float:
         return p**1.5  # n^2 >= p  =>  W = n^3 >= p^1.5
 
 
@@ -215,20 +217,20 @@ class CannonModel(AlgorithmModel):
     equation = "(3)"
     asymptotic_isoefficiency = "O(p^1.5)"
 
-    def comm_time(self, n, p, machine):
+    def comm_time(self, n: float, p: float, machine: MachineParams) -> float:
         return 2 * machine.ts * p**0.5 + 2 * machine.tw * n**2 / p**0.5
 
-    def overhead_terms(self, n, p, machine):
+    def overhead_terms(self, n: float, p: float, machine: MachineParams) -> dict[str, float]:
         self._validate(n, p)
         return {
             "ts": 2 * machine.ts * p**1.5,
             "tw": 2 * machine.tw * n**2 * p**0.5,
         }
 
-    def max_procs(self, n):
+    def max_procs(self, n: float) -> float:
         return n**2
 
-    def concurrency_isoefficiency(self, p, machine=None):
+    def concurrency_isoefficiency(self, p: float, machine: MachineParams | None = None) -> float:
         return p**1.5
 
 
@@ -243,20 +245,20 @@ class FoxModel(AlgorithmModel):
     # *asynchronous* variant, whose time is within 2x of Cannon's (Section 4.3).
     asymptotic_isoefficiency = "O(p^2)"
 
-    def comm_time(self, n, p, machine):
+    def comm_time(self, n: float, p: float, machine: MachineParams) -> float:
         return 2 * machine.tw * n**2 / p**0.5 + machine.ts * p
 
-    def overhead_terms(self, n, p, machine):
+    def overhead_terms(self, n: float, p: float, machine: MachineParams) -> dict[str, float]:
         self._validate(n, p)
         return {
             "ts": machine.ts * p**2,
             "tw": 2 * machine.tw * n**2 * p**0.5,
         }
 
-    def max_procs(self, n):
+    def max_procs(self, n: float) -> float:
         return n**2
 
-    def concurrency_isoefficiency(self, p, machine=None):
+    def concurrency_isoefficiency(self, p: float, machine: MachineParams | None = None) -> float:
         return p**1.5
 
 
@@ -268,14 +270,14 @@ class BerntsenModel(AlgorithmModel):
     equation = "(5)"
     asymptotic_isoefficiency = "O(p^2)"  # concurrency-limited (Section 5.2)
 
-    def comm_time(self, n, p, machine):
+    def comm_time(self, n: float, p: float, machine: MachineParams) -> float:
         return (
             2 * machine.ts * p ** (1 / 3)
             + machine.ts * log2(p) / 3
             + 3 * machine.tw * n**2 / p ** (2 / 3)
         )
 
-    def overhead_terms(self, n, p, machine):
+    def overhead_terms(self, n: float, p: float, machine: MachineParams) -> dict[str, float]:
         self._validate(n, p)
         return {
             "ts_cannon": 2 * machine.ts * p ** (4 / 3),
@@ -283,10 +285,10 @@ class BerntsenModel(AlgorithmModel):
             "tw": 3 * machine.tw * n**2 * p ** (1 / 3),
         }
 
-    def max_procs(self, n):
+    def max_procs(self, n: float) -> float:
         return n**1.5
 
-    def concurrency_isoefficiency(self, p, machine=None):
+    def concurrency_isoefficiency(self, p: float, machine: MachineParams | None = None) -> float:
         return p**2  # n^(3/2) >= p  =>  W = n^3 >= p^2
 
 
@@ -298,10 +300,10 @@ class DNSModel(AlgorithmModel):
     equation = "(6)"
     asymptotic_isoefficiency = "O(p log p)"
 
-    def comm_time(self, n, p, machine):
+    def comm_time(self, n: float, p: float, machine: MachineParams) -> float:
         return (machine.ts + machine.tw) * (5 * log2(p / n**2) + 2 * n**3 / p)
 
-    def overhead_terms(self, n, p, machine):
+    def overhead_terms(self, n: float, p: float, machine: MachineParams) -> dict[str, float]:
         self._validate(n, p)
         c = machine.ts + machine.tw
         return {
@@ -309,18 +311,18 @@ class DNSModel(AlgorithmModel):
             "ts_tw_n3": 2 * c * n**3,
         }
 
-    def max_efficiency(self, machine):
+    def max_efficiency(self, machine: MachineParams) -> float:
         # The 2*(ts+tw)*n^3 overhead term scales with W itself, capping E
         # at 1/(1 + 2*(ts+tw)) no matter how large the problem (Section 5.3).
         return 1.0 / (1.0 + 2 * (machine.ts + machine.tw))
 
-    def min_procs(self, n):
+    def min_procs(self, n: float) -> float:
         return n**2
 
-    def max_procs(self, n):
+    def max_procs(self, n: float) -> float:
         return n**3
 
-    def concurrency_isoefficiency(self, p, machine=None):
+    def concurrency_isoefficiency(self, p: float, machine: MachineParams | None = None) -> float:
         return p  # max_procs does not bind below p = n^3
 
 
@@ -332,20 +334,20 @@ class GKModel(AlgorithmModel):
     equation = "(7)"
     asymptotic_isoefficiency = "O(p (log p)^3)"
 
-    def comm_time(self, n, p, machine):
+    def comm_time(self, n: float, p: float, machine: MachineParams) -> float:
         return (5 / 3) * log2(p) * (machine.ts + machine.tw * n**2 / p ** (2 / 3))
 
-    def overhead_terms(self, n, p, machine):
+    def overhead_terms(self, n: float, p: float, machine: MachineParams) -> dict[str, float]:
         self._validate(n, p)
         return {
             "ts": (5 / 3) * machine.ts * p * log2(p),
             "tw": (5 / 3) * machine.tw * n**2 * p ** (1 / 3) * log2(p),
         }
 
-    def max_procs(self, n):
+    def max_procs(self, n: float) -> float:
         return n**3
 
-    def concurrency_isoefficiency(self, p, machine=None):
+    def concurrency_isoefficiency(self, p: float, machine: MachineParams | None = None) -> float:
         return p
 
 
@@ -370,7 +372,7 @@ class GKImprovedModel(AlgorithmModel):
     equation = "(5.4.1)"
     asymptotic_isoefficiency = "O(p (log p)^1.5)"
 
-    def comm_time(self, n, p, machine):
+    def comm_time(self, n: float, p: float, machine: MachineParams) -> float:
         lg = log2(p)
         if not isinstance(lg, np.ndarray) and lg == 0:
             return 0.0
@@ -391,7 +393,7 @@ class GKImprovedModel(AlgorithmModel):
             total = np.where(lg == 0, 0.0, total)
         return total
 
-    def overhead_terms(self, n, p, machine):
+    def overhead_terms(self, n: float, p: float, machine: MachineParams) -> dict[str, float]:
         self._validate(n, p)
         lg = log2(p)
         return {
@@ -400,7 +402,7 @@ class GKImprovedModel(AlgorithmModel):
             "sqrt": 10 * n * p ** (2 / 3) * (machine.ts * machine.tw * lg / 3) ** 0.5,
         }
 
-    def max_procs(self, n):
+    def max_procs(self, n: float) -> float:
         return n**3
 
     def packet_feasible(self, n: float, p: float, machine: MachineParams) -> bool:
@@ -410,7 +412,7 @@ class GKImprovedModel(AlgorithmModel):
             return True
         return n**2 / p ** (2 / 3) >= (machine.ts / machine.tw) * lg
 
-    def concurrency_isoefficiency(self, p, machine=None):
+    def concurrency_isoefficiency(self, p: float, machine: MachineParams | None = None) -> float:
         # packet-size lower bound of §5.4.1: the broadcast scheme needs
         # n^2/p^(2/3) >= (ts/tw) log p, i.e. W >= (ts/tw)^1.5 p (log p)^1.5 --
         # this is what makes the *effective* isoefficiency O(p (log p)^1.5).
@@ -431,10 +433,10 @@ class GKCM5Model(AlgorithmModel):
     equation = "(18)"
     asymptotic_isoefficiency = "O(p (log p)^3)"
 
-    def comm_time(self, n, p, machine):
+    def comm_time(self, n: float, p: float, machine: MachineParams) -> float:
         return (log2(p) + 2) * (machine.ts + machine.tw * n**2 / p ** (2 / 3))
 
-    def overhead_terms(self, n, p, machine):
+    def overhead_terms(self, n: float, p: float, machine: MachineParams) -> dict[str, float]:
         self._validate(n, p)
         lg2 = log2(p) + 2
         return {
@@ -442,10 +444,10 @@ class GKCM5Model(AlgorithmModel):
             "tw": machine.tw * n**2 * p ** (1 / 3) * lg2,
         }
 
-    def max_procs(self, n):
+    def max_procs(self, n: float) -> float:
         return n**3
 
-    def concurrency_isoefficiency(self, p, machine=None):
+    def concurrency_isoefficiency(self, p: float, machine: MachineParams | None = None) -> float:
         return p
 
 

@@ -16,6 +16,7 @@ Figures 1-3 are these maps for the machines
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -105,8 +106,8 @@ class RegionMap:
 
 def winner_grid(
     machine: MachineParams,
-    n_values,
-    p_values,
+    n_values: Sequence[float],
+    p_values: Sequence[float],
     model_keys: tuple[str, ...] = COMPARISON_MODELS,
 ) -> np.ndarray:
     """Index of the least-overhead applicable model at every grid cell.

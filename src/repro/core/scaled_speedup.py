@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.machine import MachineParams
 from repro.core.memory import MEMORY_MODELS
@@ -91,7 +92,7 @@ def scaled_speedup_curve(
     key: str,
     machine: MachineParams,
     words_per_processor: float,
-    p_values,
+    p_values: Sequence[float],
 ) -> list[ScaledPoint]:
     """Largest-fitting-problem efficiency/speedup over a processor sweep."""
     mem = MEMORY_MODELS[key]

@@ -10,14 +10,20 @@ the analytic models by predicted ``T_p`` subject to applicability, and
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.core.machine import MachineParams
 from repro.core.models import COMPARISON_MODELS, MODELS
 
+if TYPE_CHECKING:  # circular at runtime: repro.algorithms builds on repro.core
+    from types import ModuleType
 
-def _registry():
+    from repro.algorithms.base import MatmulResult
+
+
+def _registry() -> "ModuleType":
     # imported lazily: repro.algorithms is built on top of repro.core, so a
     # module-level import here would be circular
     from repro.algorithms import registry
@@ -87,8 +93,8 @@ def select_and_run(
     B: np.ndarray,
     p: int,
     machine: MachineParams,
-    **kw,
-):
+    **kw: Any,
+) -> "tuple[Selection, MatmulResult]":
     """Pick the best *runnable* algorithm and execute it on the simulator.
 
     Returns ``(selection, result)``.

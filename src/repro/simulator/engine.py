@@ -256,7 +256,7 @@ class Engine:
                 raise DeadlockError(
                     {
                         r: repr(states[r].blocked_on)
-                        for r in pending
+                        for r in sorted(pending)
                         if states[r].blocked_on is not None
                     }
                 )

@@ -1,0 +1,119 @@
+"""CLI smoke tests and the self-lint gate for ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.cli import main
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+KNOWN_BAD = textwrap.dedent(
+    """
+    import random
+
+    def jitter():
+        return random.random()
+    """
+)
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+
+
+def test_self_lint_is_clean():
+    """The repo's own source must pass its own analysis (acceptance gate)."""
+    report = analyze_paths([SRC])
+    assert report.parse_errors == []
+    assert report.findings == [], "\n".join(f.format() for f in report.findings)
+    assert report.files_checked > 50
+
+
+def test_cli_json_smoke_on_src():
+    proc = run_cli("--format", "json", "src/repro")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    assert payload["files_checked"] > 50
+
+
+def test_cli_exits_nonzero_on_known_bad_fixture(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(KNOWN_BAD)
+    proc = run_cli("--format", "json", str(bad))
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is False
+    assert [f["rule"] for f in payload["findings"]] == ["DET001"]
+
+
+@pytest.mark.parametrize(
+    "snippet,expected_rule",
+    [
+        ("import time\nt = time.time()\n", "DET002"),
+        ("s = set()\nfor x in s:\n    pass\n", "DET003"),
+    ],
+)
+def test_cli_catches_each_fixture_kind(tmp_path, snippet, expected_rule):
+    # DET002 is path-scoped: plant the fixture inside a simulator-shaped tree
+    target = tmp_path / "repro" / "simulator"
+    target.mkdir(parents=True)
+    (target / "probe.py").write_text(snippet)
+    proc = run_cli("--format", "json", str(tmp_path))
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert expected_rule in {f["rule"] for f in payload["findings"]}
+
+
+def test_cli_text_output_and_exit_zero(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("import numpy as np\nrng = np.random.default_rng(0)\n")
+    assert main([str(good)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("OK —") and "1 file(s) checked" in out
+
+
+def test_cli_counts_suppressions(tmp_path, capsys):
+    waived = tmp_path / "repro" / "simulator" / "probe.py"
+    waived.parent.mkdir(parents=True)
+    waived.write_text("import time\nt = time.time()  # repro: ignore[DET002] -- fixture\n")
+    assert main(["--format", "json", str(tmp_path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert [f["rule"] for f in payload["suppressed"]] == ["DET002"]
+
+
+def test_cli_writes_report_file(tmp_path):
+    out = tmp_path / "report.json"
+    proc = run_cli("--format", "text", "--output", str(out), "src/repro")
+    assert proc.returncode == 0
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is True
+
+
+def test_cli_list_rules():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in ("DET001", "MOD002", "ENG003"):
+        assert rule_id in proc.stdout
+
+
+def test_cli_bad_rule_id_is_usage_error():
+    proc = run_cli("--select", "NOPE99", "src/repro")
+    assert proc.returncode == 2
+    assert "unknown rule ids" in proc.stderr
