@@ -21,7 +21,7 @@ bench:
 	pytest benchmarks/ --benchmark-only -q
 
 bench-smoke:
-	python benchmarks/perf_guard.py --fast --out BENCH_PR1.json
+	python benchmarks/perf_guard.py --fast
 
 experiments:
 	python -m repro.experiments all --fast

@@ -1,6 +1,6 @@
 """Performance guard: measure the fast paths against seed-style baselines.
 
-Three workloads are timed, each against a faithful replica of the seed
+Four workloads are timed, each against a faithful replica of the
 implementation it replaced:
 
 * ``engine`` — one representative grid of simulations under the seed
@@ -13,11 +13,18 @@ implementation it replaced:
   for — so the second pass is served from cache.
 * ``region_map`` — the seed per-cell ``best_algorithm`` Python loop vs
   the vectorized ``winner_grid`` map, on the Figure 1 machine.
+* ``collectives`` — the macro-collective fast path.  A broadcast-heavy
+  program at ``p = 1024`` is timed under the macro path, the
+  message-level ready path, and the rescan reference (the message-level
+  reference configuration every other speedup here is judged against);
+  the Figure 4/5 regeneration pipeline is timed in the default fast
+  configuration vs that same reference.
 
-Results land in ``BENCH_PR1.json`` together with pass/fail acceptance
-flags (pipeline sweep >= 3x, region_map >= 5x).  Run it directly::
+Results land in ``BENCH_PR3.json`` together with pass/fail acceptance
+flags (pipeline sweep >= 3x, region_map >= 5x, macro broadcast >= 5x
+over the reference, Figure 4/5 pipeline >= 2x).  Run it directly::
 
-    python benchmarks/perf_guard.py [--fast] [--out BENCH_PR1.json]
+    python benchmarks/perf_guard.py [--fast] [--out BENCH_PR3.json]
 
 ``--fast`` shrinks the grids for CI smoke runs (the speedups there are
 informational; acceptance is judged on the full grids).
@@ -42,7 +49,7 @@ from repro.core.machine import NCUBE2_LIKE, MachineParams  # noqa: E402
 from repro.core.models import MODELS  # noqa: E402
 from repro.core.regions import best_algorithm, region_map  # noqa: E402
 from repro.experiments.sweep import sweep  # noqa: E402
-from repro.simulator import engine  # noqa: E402
+from repro.simulator import collectives, engine  # noqa: E402
 
 MACHINE = MachineParams(ts=10.0, tw=2.0)
 
@@ -98,6 +105,19 @@ def _with_scheduler(name: str, fn):
         return fn()
     finally:
         engine.DEFAULT_SCHEDULER = prev
+
+
+def _with_config(scheduler: str, macro: bool, fn):
+    """Run *fn* with both engine defaults (scheduler, macro path) forced."""
+    prev_s = engine.DEFAULT_SCHEDULER
+    prev_m = engine.DEFAULT_MACRO_COLLECTIVES
+    engine.DEFAULT_SCHEDULER = scheduler
+    engine.DEFAULT_MACRO_COLLECTIVES = macro
+    try:
+        return fn()
+    finally:
+        engine.DEFAULT_SCHEDULER = prev_s
+        engine.DEFAULT_MACRO_COLLECTIVES = prev_m
 
 
 def _time(fn, repeats: int) -> float:
@@ -169,6 +189,77 @@ def bench_sweep(fast: bool, repeats: int, jobs: int) -> dict:
     }
 
 
+def _bcast_heavy_factory(p: int, rounds: int):
+    """A broadcast-dominated SPMD program over the full machine.
+
+    Rotating roots keep every round a genuine one-to-all broadcast (the
+    pattern the GK algorithm's outer loop is made of) while the single
+    full-machine group (``g = p``) is exactly where the macro executors
+    amortize best.
+    """
+    group = list(range(p))
+
+    def prog(info):
+        data = np.ones(64)
+        acc = 0.0
+        for r in range(rounds):
+            root = r % 8
+            got = yield from collectives.bcast_binomial(
+                info, group, root, data if info.rank == root else None
+            )
+            acc += float(got[0])
+        return acc
+
+    return prog
+
+
+def bench_collectives(fast: bool, repeats: int) -> dict:
+    from repro.experiments import figures45
+    from repro.simulator.topology import Hypercube
+
+    # the macro acceptance gate is judged at p = 1024 even in --fast runs
+    # (the whole bench is a few seconds); only the fig4/5 grids shrink
+    p, rounds = 1024, 32
+    topo = Hypercube.of_size(p)
+    factory = _bcast_heavy_factory(p, rounds)
+
+    def run_bcast():
+        engine.run_spmd(topo, NCUBE2_LIKE, factory)
+
+    macro_s = _time(lambda: _with_config("ready", True, run_bcast), repeats)
+    msg_ready_s = _time(lambda: _with_config("ready", False, run_bcast), repeats)
+    reference_s = _time(lambda: _with_config("rescan", False, run_bcast), repeats)
+
+    fig4_sizes = (16, 48) if fast else (16, 48, 96, 144)
+    fig5_sizes = (66, 132) if fast else (66, 132, 264, 352)
+
+    def run_fig45():
+        figures45.run_fig4(sizes=fig4_sizes)
+        figures45.run_fig5(sizes=fig5_sizes)
+
+    fig45_fast_s = _time(lambda: _with_config("ready", True, run_fig45), repeats)
+    fig45_reference_s = _time(lambda: _with_config("rescan", False, run_fig45), repeats)
+
+    return {
+        "bcast": {
+            "p": p,
+            "rounds": rounds,
+            "macro_s": macro_s,
+            "msg_ready_s": msg_ready_s,
+            "reference_s": reference_s,
+            "speedup_vs_reference": reference_s / macro_s,
+            "speedup_vs_msg_ready": msg_ready_s / macro_s,
+        },
+        "fig45_pipeline": {
+            "fig4_sizes": list(fig4_sizes),
+            "fig5_sizes": list(fig5_sizes),
+            "fast_s": fig45_fast_s,
+            "reference_s": fig45_reference_s,
+            "speedup_vs_reference": fig45_reference_s / fig45_fast_s,
+        },
+    }
+
+
 def bench_region_map(fast: bool, repeats: int) -> dict:
     log2_p_max, log2_n_max = (20, 10) if fast else (30, 16)
     seed_s = _time(lambda: _seed_style_region_cells(NCUBE2_LIKE, log2_p_max, log2_n_max), repeats)
@@ -187,7 +278,7 @@ def bench_region_map(fast: bool, repeats: int) -> dict:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument("--out", default="BENCH_PR3.json")
     parser.add_argument("--fast", action="store_true", help="tiny grids for CI smoke runs")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--jobs", type=int, default=None,
@@ -207,10 +298,15 @@ def main(argv=None) -> int:
         "engine": bench_engine(args.fast, args.repeats),
         "sweep": bench_sweep(args.fast, args.repeats, jobs),
         "region_map": bench_region_map(args.fast, args.repeats),
+        "collectives": bench_collectives(args.fast, args.repeats),
     }
     report["acceptance"] = {
         "sweep_pipeline_speedup_ge_3x": report["sweep"]["pipeline_speedup"] >= 3.0,
         "region_map_speedup_ge_5x": report["region_map"]["speedup"] >= 5.0,
+        "macro_bcast_speedup_ge_5x":
+            report["collectives"]["bcast"]["speedup_vs_reference"] >= 5.0,
+        "fig45_pipeline_speedup_ge_2x":
+            report["collectives"]["fig45_pipeline"]["speedup_vs_reference"] >= 2.0,
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -226,6 +322,13 @@ def main(argv=None) -> int:
     print(f"region_map: seed {report['region_map']['seed_style_s']*1e3:.1f}ms  "
           f"vectorized {report['region_map']['vectorized_s']*1e3:.2f}ms  "
           f"speedup {report['region_map']['speedup']:.1f}x")
+    bc = report["collectives"]["bcast"]
+    f45 = report["collectives"]["fig45_pipeline"]
+    print(f"collectives: bcast p={bc['p']} macro {bc['macro_s']:.3f}s  "
+          f"reference {bc['reference_s']:.3f}s ({bc['speedup_vs_reference']:.2f}x, "
+          f"{bc['speedup_vs_msg_ready']:.2f}x vs msg-ready)  "
+          f"fig45 {f45['fast_s']:.3f}s vs {f45['reference_s']:.3f}s "
+          f"({f45['speedup_vs_reference']:.2f}x)")
     print(f"acceptance: {report['acceptance']}")
     print(f"wrote {args.out}")
     return 0 if all(report["acceptance"].values()) or args.fast else 1

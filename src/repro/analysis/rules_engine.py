@@ -6,7 +6,9 @@ simulated message (ENG001 keeps them ``slots``), the trace layer is the
 single source of timing truth (ENG002 confines its construction), and
 logical clocks are accumulated floats (ENG003 bans exact equality on
 them — two schedulers that agree to within rounding must not branch
-differently on a ``==``).
+differently on a ``==``), and message sizes flow through one accounting
+function (ENG004 bans hand-rolled ``.size`` arithmetic at ``Send`` call
+sites in the collective layers).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ __all__ = [
     "RequestSlotsRule",
     "TraceConstructionRule",
     "FloatClockEqualityRule",
+    "WordsOfAccountingRule",
 ]
 
 
@@ -145,4 +148,54 @@ class FloatClockEqualityRule(Rule):
                         module, node,
                         "exact ==/!= on a simulated clock value; use ordering "
                         "comparisons or an explicit tolerance",
+                    )
+
+
+@register
+class WordsOfAccountingRule(Rule):
+    """ENG004: collective message sizes are derived via ``words_of``.
+
+    The macro fast path charges a whole group's traffic from one
+    closed-form expression, so both paths must agree on what counts as a
+    "word".  ``repro.simulator.request.words_of`` is that single
+    definition (arrays count elements, containers recurse, scalars are
+    one word).  A ``Send(..., nwords=arr.size)`` in the collective layers
+    hand-rolls the conversion at the call site — correct today for a
+    plain ndarray, silently wrong the day the payload grows structure —
+    so message sizes there must flow through ``words_of``.
+    """
+
+    rule_id = "ENG004"
+    name = "words-of-accounting"
+    description = (
+        "collective layers derive Send nwords via words_of, not ad-hoc .size"
+    )
+    path_filter = ("repro/simulator/collectives.py", "repro/simulator/jho.py",
+                   "repro/simulator/macro.py")
+
+    _SIZE_ATTRS = ("size", "nbytes")
+
+    def _is_adhoc_size(self, node: ast.expr) -> bool:
+        """True for expressions that read ``<payload>.size`` anywhere inside."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute) and sub.attr in self._SIZE_ATTRS:
+                return True
+        return False
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.split(".")[-1] not in ("Send", "CollectiveOp"):
+                continue
+            for kw in node.keywords:
+                if kw.arg != "nwords":
+                    continue
+                if self._is_adhoc_size(kw.value):
+                    yield self.finding(
+                        module, node,
+                        "Send/CollectiveOp nwords computed from a raw .size "
+                        "attribute; derive message sizes with words_of(data) "
+                        "so both simulation paths share one accounting",
                     )

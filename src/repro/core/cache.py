@@ -68,10 +68,12 @@ class ResultCache:
             return {"hits": self.hits, "misses": self.misses, "size": len(self._data)}
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
 
 _GLOBAL = ResultCache()

@@ -22,7 +22,7 @@ from repro.experiments import (
     validation,
 )
 
-_EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "sec6", "sec7", "sec8", "validation", "scaling", "broadcast", "arch")
+_EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "sec6", "sec7", "sec8", "validation", "scaling", "scaling-large", "broadcast", "arch")
 
 
 def run_one(name: str, fast: bool = False, jobs: int = 1) -> str:
@@ -48,6 +48,9 @@ def run_one(name: str, fast: bool = False, jobs: int = 1) -> str:
         return validation.format_text(validation.run())
     if name == "scaling":
         return scaling.format_text(scaling.run())
+    if name == "scaling-large":
+        p_values = (64, 256, 1024) if fast else (64, 256, 1024, 4096)
+        return scaling.format_large_p_text(scaling.run_large_p(p_values=p_values))
     if name == "arch":
         return architectures.format_text(architectures.run())
     if name == "broadcast":

@@ -24,6 +24,20 @@ Groups are ordered rank lists.  When a group of size ``2**k`` occupies a
 subcube whose members differ only in *k* fixed bit positions — which is
 how every algorithm in this package lays out its groups — each step of
 the power-of-two collectives crosses exactly one hypercube link.
+
+Macro fast path
+---------------
+
+When the engine advertises ``info.macro_collectives`` (tracing off, link
+contention off, event-driven scheduler), each helper validates its
+arguments and then yields a single
+:class:`~repro.simulator.request.CollectiveOp` instead of its message
+sequence; the engine rendezvouses the group and applies one closed-form,
+vectorized clock/stats update (:mod:`repro.simulator.macro`) that is
+bit-identical to the message-level path below — same clocks, same
+per-rank accounts, same message/word totals, same payload aliasing.  The
+message-level implementations remain the reference: the fuzz suite pins
+the two paths against each other.
 """
 
 from __future__ import annotations
@@ -35,7 +49,7 @@ import numpy as np
 
 from repro.simulator.engine import RankInfo
 from repro.simulator.errors import ProgramError
-from repro.simulator.request import Barrier, Recv, Send
+from repro.simulator.request import Barrier, CollectiveOp, Recv, Send, words_of
 
 __all__ = [
     "my_index",
@@ -51,13 +65,13 @@ __all__ = [
 ]
 
 
-def words_of(data: Any) -> int:
-    """Number of matrix words in *data* (arrays count elements; scalars 1)."""
-    if isinstance(data, np.ndarray):
-        return int(data.size)
-    if isinstance(data, (list, tuple)):
-        return sum(words_of(x) for x in data)
-    return 1
+#: Smallest group for which a helper takes the macro fast path.  Below
+#: this, the per-call numpy overhead of the vectorized executors exceeds
+#: the message-level cost (measured crossover is near 64 ranks); above
+#: it the fast path wins and keeps widening.  Both paths are
+#: bit-identical, so this is purely a performance knob — tests pin it to
+#: 2 to force macro coverage of small groups.
+MACRO_GROUP_MIN: int = 64
 
 
 def my_index(info: RankInfo, group: Sequence[int]) -> int:
@@ -91,6 +105,12 @@ def bcast_binomial(
     returned unchanged.  Takes ``ceil(log2 g)`` sequential message steps.
     """
     g = len(group)
+    if info.macro_collectives and g >= MACRO_GROUP_MIN:
+        result = yield CollectiveOp(
+            kind="bcast", group=group if type(group) is list else list(group),
+            data=data, nwords=nwords, tag=tag, root_index=root_index,
+        )
+        return result
     idx = my_index(info, group)
     rel = (idx - root_index) % g
     rounds = max(1, math.ceil(math.log2(g))) if g > 1 else 0
@@ -127,6 +147,13 @@ def reduce_binomial(
     from repro.simulator.request import Compute  # local to avoid cycle noise
 
     g = len(group)
+    if info.macro_collectives and g >= MACRO_GROUP_MIN:
+        result = yield CollectiveOp(
+            kind="reduce", group=group if type(group) is list else list(group),
+            data=data, nwords=nwords, tag=tag, root_index=root_index,
+            op=op, charge_op=charge_op,
+        )
+        return result
     idx = my_index(info, group)
     rel = (idx - root_index) % g
     rounds = max(1, math.ceil(math.log2(g))) if g > 1 else 0
@@ -164,6 +191,12 @@ def allgather_recursive_doubling(
     g = len(group)
     if g & (g - 1):
         raise ProgramError(f"recursive doubling needs a power-of-two group, got {g}")
+    if info.macro_collectives and g >= MACRO_GROUP_MIN:
+        result = yield CollectiveOp(
+            kind="allgather_rd", group=group if type(group) is list else list(group),
+            data=data, nwords=nwords, tag=tag,
+        )
+        return result
     idx = my_index(info, group)
     m = words_of(data) if nwords is None else nwords
 
@@ -191,6 +224,12 @@ def allgather_ring(
 ):
     """All-to-all broadcast over *group* on a logical ring (``g-1`` steps)."""
     g = len(group)
+    if info.macro_collectives and g >= MACRO_GROUP_MIN:
+        result = yield CollectiveOp(
+            kind="allgather_ring", group=group if type(group) is list else list(group),
+            data=data, nwords=nwords, tag=tag,
+        )
+        return result
     idx = my_index(info, group)
     m = words_of(data) if nwords is None else nwords
     right = group[(idx + 1) % g]
@@ -231,8 +270,16 @@ def reduce_scatter_halving(
     g = len(group)
     if g & (g - 1):
         raise ProgramError(f"recursive halving needs a power-of-two group, got {g}")
-    idx = my_index(info, group)
     flat = np.ascontiguousarray(data).reshape(-1).astype(np.result_type(data, np.float64), copy=True)
+    if info.macro_collectives and g >= MACRO_GROUP_MIN:
+        # the private working copy above is made eagerly, exactly when the
+        # reference path would; the executor reduces it in place
+        result = yield CollectiveOp(
+            kind="reduce_scatter", group=group if type(group) is list else list(group),
+            data=flat, tag=tag, charge_adds=charge_adds,
+        )
+        return result
+    idx = my_index(info, group)
     lo, hi = 0, flat.size
 
     block = g
@@ -276,9 +323,16 @@ def shift_cyclic(
     one step costs ``ts + tw*m`` between ring neighbors.
     """
     g = len(group)
-    idx = my_index(info, group)
     if offset % g == 0:
+        my_index(info, group)  # keep the membership check of the slow path
         return data
+    if info.macro_collectives and g >= MACRO_GROUP_MIN:
+        result = yield CollectiveOp(
+            kind="shift", group=group if type(group) is list else list(group),
+            data=data, nwords=nwords, tag=tag, offset=offset,
+        )
+        return result
+    idx = my_index(info, group)
     m = words_of(data) if nwords is None else nwords
     dst = group[(idx + offset) % g]
     src = group[(idx - offset) % g]

@@ -59,14 +59,33 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable
 
+import numpy as np
+
 from repro.core.machine import MachineParams
 from repro.simulator.errors import DeadlockError, ProgramError
+from repro.simulator.macro import run_collective
 from repro.simulator.network import LinkReservations, route_path
-from repro.simulator.request import Barrier, Compute, Recv, Request, Send, SendAll
+from repro.simulator.request import (
+    Barrier,
+    CollectiveOp,
+    Compute,
+    Recv,
+    Request,
+    Send,
+    SendAll,
+)
 from repro.simulator.topology import Topology
-from repro.simulator.trace import RankStats, Trace, TraceEvent
+from repro.simulator.trace import RankArrays, RankStats, Trace, TraceEvent
 
-__all__ = ["RankInfo", "SimResult", "Engine", "run_spmd", "DEFAULT_SCHEDULER", "SCHEDULERS"]
+__all__ = [
+    "RankInfo",
+    "SimResult",
+    "Engine",
+    "run_spmd",
+    "DEFAULT_SCHEDULER",
+    "DEFAULT_MACRO_COLLECTIVES",
+    "SCHEDULERS",
+]
 
 #: Known scheduling strategies (see the module docstring).
 SCHEDULERS: tuple[str, ...] = ("ready", "rescan")
@@ -75,6 +94,11 @@ SCHEDULERS: tuple[str, ...] = ("ready", "rescan")
 #: flip this to ``"rescan"`` to time the seed scheduler without plumbing
 #: an option through every algorithm driver.
 DEFAULT_SCHEDULER: str = "ready"
+
+#: Process-wide default used when ``Engine(macro_collectives=None)``.
+#: Benchmarks flip this to ``False`` to time the message-level reference
+#: collectives under the same scheduler.
+DEFAULT_MACRO_COLLECTIVES: bool = True
 
 
 @dataclass(frozen=True)
@@ -85,6 +109,13 @@ class RankInfo:
     nprocs: int
     topology: Topology
     machine: MachineParams
+
+    macro_collectives: bool = False
+    """Whether the engine accepts :class:`CollectiveOp` macro requests
+    this run.  The collective helpers consult this to pick between one
+    closed-form vectorized update and the message-level reference path;
+    it is only set when tracing and link contention are off and the
+    event-driven scheduler is active."""
 
 
 Program = Generator[Request, Any, Any]
@@ -143,17 +174,34 @@ class SimResult:
 
 
 class _RankState:
-    __slots__ = ("gen", "clock", "stats", "blocked_on", "done", "retval", "barrier_epoch", "send_value")
+    """Per-rank scheduling state; clocks and accounts live in :class:`RankArrays`.
 
-    def __init__(self, gen: Program, rank: int):
+    ``clock`` and ``stats`` are views into the run's shared arrays, so
+    scalar code paths (the reference scheduler, SendAll) keep their
+    original shape while the macro executors and barrier releases update
+    whole rank sets vectorized.
+    """
+
+    __slots__ = ("gen", "rank", "_arr", "stats", "blocked_on", "done", "retval", "barrier_epoch", "send_value")
+
+    def __init__(self, gen: Program, rank: int, arr: RankArrays):
         self.gen = gen
-        self.clock = 0.0
-        self.stats = RankStats(rank=rank)
-        self.blocked_on: Recv | Barrier | None = None
+        self.rank = rank
+        self._arr = arr
+        self.stats = arr.view(rank)
+        self.blocked_on: Recv | Barrier | CollectiveOp | None = None
         self.done = False
         self.retval: Any = None
         self.barrier_epoch = 0
         self.send_value: Any = None
+
+    @property
+    def clock(self) -> float:
+        return self._arr.clock[self.rank]
+
+    @clock.setter
+    def clock(self, value: float) -> None:
+        self._arr.clock[self.rank] = value
 
 
 class Engine:
@@ -168,6 +216,7 @@ class Engine:
         max_trace_events: int = 1_000_000,
         link_contention: bool = False,
         scheduler: str | None = None,
+        macro_collectives: bool | None = None,
     ):
         self.topology = topology
         self.machine = machine
@@ -181,10 +230,19 @@ class Engine:
         if scheduler is not None and scheduler not in SCHEDULERS:
             raise ValueError(f"unknown scheduler {scheduler!r}; known: {SCHEDULERS}")
         self.scheduler = scheduler
+        #: ``None`` defers to :data:`DEFAULT_MACRO_COLLECTIVES`; the flag
+        #: is only honored when tracing and link contention are off and
+        #: the ready scheduler runs (the reference paths stay exact).
+        self.macro_collectives = macro_collectives
         # mailboxes[(src, dst, tag)] -> FIFO of (arrival_time, payload, nwords)
         self._mail: dict[tuple[int, int, int], deque] = {}
         # (src, dst) -> hop count, filled lazily (repeated pairs dominate)
         self._dist: dict[tuple[int, int], int] = {}
+        # (kind, tag, len(group)) -> pending entries [posts, count, pos, group];
+        # bucketed by cheap signature so posting never hashes a whole group
+        # (list equality short-circuits on the first differing rank)
+        self._pending_collectives: dict[tuple[str, int, int], list[list]] = {}
+        self._arr: RankArrays | None = None
 
     # -- public API -----------------------------------------------------------------
 
@@ -202,33 +260,54 @@ class Engine:
             if len(factories) != p:
                 raise ValueError(f"need {p} programs, got {len(factories)}")
 
+        scheduler = self.scheduler or DEFAULT_SCHEDULER
+        if self.link_contention:
+            # reservation order is defined by the reference scheduler
+            scheduler = "rescan"
+        macro = (
+            self.macro_collectives
+            if self.macro_collectives is not None
+            else DEFAULT_MACRO_COLLECTIVES
+        )
+        macro_ok = (
+            macro
+            and scheduler == "ready"
+            and not self.trace.enabled
+            and not self.link_contention
+        )
+
+        arr = RankArrays(p)
+        self._arr = arr
         states = [
             _RankState(
-                f(RankInfo(rank=r, nprocs=p, topology=self.topology, machine=self.machine)),
+                f(
+                    RankInfo(
+                        rank=r,
+                        nprocs=p,
+                        topology=self.topology,
+                        machine=self.machine,
+                        macro_collectives=macro_ok,
+                    )
+                ),
                 r,
+                arr,
             )
             for r, f in enumerate(factories)
         ]
         self._mail.clear()
         self._dist.clear()
+        self._pending_collectives.clear()
         self.links = LinkReservations() if self.link_contention else None
 
-        scheduler = self.scheduler or DEFAULT_SCHEDULER
-        if self.link_contention:
-            # reservation order is defined by the reference scheduler
-            scheduler = "rescan"
         if scheduler == "ready":
             self._run_ready(states)
         else:
             self._run_rescan(states)
 
-        stats = [s.stats for s in states]
-        for s in states:
-            s.stats.finish_time = s.clock
-        t_p = max((s.clock for s in states), default=0.0)
+        t_p = float(arr.clock.max()) if p else 0.0
         return SimResult(
             parallel_time=t_p,
-            stats=stats,
+            stats=arr.snapshot(),
             returns=[s.retval for s in states],
             trace=self.trace,
             nprocs=p,
@@ -284,6 +363,14 @@ class Engine:
         tracing = self.trace.enabled
         record = self.trace.record
 
+        arr = self._arr
+        clk_arr = arr.clock
+        comp_arr = arr.compute_time
+        sendt_arr = arr.send_time
+        rwait_arr = arr.recv_wait_time
+        msgs_arr = arr.messages_sent
+        words_arr = arr.words_sent
+
         ready = deque(range(len(states)))
         waiting: dict[tuple[int, int, int], int] = {}  # mailbox key -> parked rank
         barrier_blocked = 0
@@ -293,22 +380,29 @@ class Engine:
             while ready:
                 r = ready.popleft()
                 st = states[r]
-                stats = st.stats
-                clock = st.clock
+                clock = clk_arr.item(r)
                 value = None
                 blocked = st.blocked_on
                 if blocked is not None:
-                    # woken by a deposit on this channel: complete the Recv
-                    arrival, value, nwords = mail[(blocked.src, r, blocked.tag)].popleft()
-                    if tracing:
-                        end = arrival if arrival > clock else clock
-                        record(TraceEvent(r, clock, end, "recv",
-                                          f"<-{blocked.src} {nwords}w", tag=blocked.tag))
-                    if arrival > clock:
-                        stats.recv_wait_time += arrival - clock
-                        clock = arrival
-                    st.blocked_on = None
+                    if blocked.__class__ is CollectiveOp:
+                        # resumed by a completed macro collective: the
+                        # executor already advanced clock and accounts
+                        value = st.send_value
+                        st.send_value = None
+                        st.blocked_on = None
+                    else:
+                        # woken by a deposit on this channel: complete the Recv
+                        arrival, value, nwords = mail[(blocked.src, r, blocked.tag)].popleft()
+                        if tracing:
+                            end = arrival if arrival > clock else clock
+                            record(TraceEvent(r, clock, end, "recv",
+                                              f"<-{blocked.src} {nwords}w", tag=blocked.tag))
+                        if arrival > clock:
+                            rwait_arr[r] += arrival - clock
+                            clock = arrival
+                        st.blocked_on = None
                 gen_send = st.gen.send
+                fire = None
                 while True:
                     try:
                         req = gen_send(value)
@@ -323,7 +417,7 @@ class Engine:
                         cost = req.cost
                         if tracing:
                             record(TraceEvent(r, clock, clock + cost, "compute", req.label))
-                        stats.compute_time += cost
+                        comp_arr[r] += cost
                         clock += cost
                     elif cls is Recv:
                         key = (req.src, r, req.tag)
@@ -335,7 +429,7 @@ class Engine:
                                 record(TraceEvent(r, clock, end, "recv",
                                                   f"<-{req.src} {nwords}w", tag=req.tag))
                             if arrival > clock:
-                                stats.recv_wait_time += arrival - clock
+                                rwait_arr[r] += arrival - clock
                                 clock = arrival
                         else:
                             st.blocked_on = req
@@ -363,9 +457,9 @@ class Engine:
                         if q is None:
                             q = mail[key] = deque()
                         q.append((arrival, req.data, nwords))
-                        stats.messages_sent += 1
-                        stats.words_sent += nwords
-                        stats.send_time += busy
+                        msgs_arr[r] += 1
+                        words_arr[r] += nwords
+                        sendt_arr[r] += busy
                         if tracing:
                             record(TraceEvent(r, clock, clock + busy, "send",
                                               f"->{dst} {nwords}w", tag=req.tag))
@@ -376,7 +470,7 @@ class Engine:
                     elif cls is SendAll:
                         st.clock = clock
                         self._do_send_all(st, r, req)
-                        clock = st.clock
+                        clock = clk_arr.item(r)
                         for m in req.messages:
                             woken = waiting.pop((r, m.dst, m.tag), None)
                             if woken is not None:
@@ -385,14 +479,25 @@ class Engine:
                         st.blocked_on = req
                         barrier_blocked += 1
                         break
+                    elif cls is CollectiveOp:
+                        st.blocked_on = req
+                        fire = self._post_collective(r, req, size)
+                        break
                     else:
                         raise ProgramError(f"rank {r} yielded unsupported request {req!r}")
-                st.clock = clock
+                clk_arr[r] = clock
                 st.send_value = None
+                if fire is not None:
+                    # the last member posted: run the vectorized executor
+                    # (after this rank's clock flush) and wake the group
+                    returns = run_collective(fire, arr, topo, machine)
+                    for i, member in enumerate(fire[0].group):
+                        states[member].send_value = returns[i]
+                        ready.append(member)
             if not active:
                 return
             if barrier_blocked == active:
-                self._try_release_barrier(states)
+                self._release_barrier_ready(states)
                 barrier_blocked = 0
                 ready.extend(r for r, s in enumerate(states) if not s.done)
             else:
@@ -403,6 +508,76 @@ class Engine:
                         if not states[r].done and states[r].blocked_on is not None
                     }
                 )
+
+    def _post_collective(
+        self, r: int, req: CollectiveOp, size: int
+    ) -> list[CollectiveOp] | None:
+        """Park rank *r* on its macro collective; return the full post list
+        once every member of the group has posted (else ``None``).
+
+        Pending collectives are bucketed by ``(kind, tag, len(group))``
+        and matched by group equality.  Disjoint concurrent groups (the
+        common case: row/column subcubes of one phase) mismatch on their
+        first rank, so the scan stays O(#concurrent groups) per post with
+        a single full comparison for the matching entry.
+        """
+        group = req.group
+        key = (req.kind, req.tag, len(group))
+        bucket = self._pending_collectives.get(key)
+        entry = None
+        if bucket is not None:
+            for e in bucket:
+                eg = e[3]
+                if eg is group or eg == group:
+                    entry = e
+                    break
+        if entry is None:
+            pos = {rank: i for i, rank in enumerate(group)}
+            if len(pos) != len(group):
+                raise ProgramError(f"collective group has duplicate ranks: {list(group)!r}")
+            for member in group:
+                if not 0 <= member < size:
+                    raise ProgramError(f"collective group member {member} outside [0, {size})")
+            entry = [[None] * len(group), 0, pos, group]
+            if bucket is None:
+                bucket = self._pending_collectives[key] = []
+            bucket.append(entry)
+        posts = entry[0]
+        i = entry[2].get(r)
+        if i is None:
+            raise ProgramError(f"rank {r} posted a collective for a group it is not in")
+        if posts[i] is not None:
+            raise ProgramError(
+                f"rank {r} posted {req.kind!r} twice for tag {req.tag} on the same group"
+            )
+        posts[i] = req
+        entry[1] += 1
+        if entry[1] == len(posts):
+            bucket.remove(entry)
+            if not bucket:
+                del self._pending_collectives[key]
+            return posts
+        return None
+
+    def _release_barrier_ready(self, states: list[_RankState]) -> None:
+        """Vectorized barrier release for the ready scheduler (tracing falls
+        back to the reference release, which records per-rank events)."""
+        if self.trace.enabled:
+            self._try_release_barrier(states)
+            return
+        arr = self._arr
+        alive = np.fromiter((not s.done for s in states), dtype=bool, count=len(states))
+        if not alive.any():
+            return
+        clk = arr.clock
+        t = clk[alive].max()
+        gap = t - clk[alive]
+        arr.barrier_wait_time[alive] += np.where(gap > 0.0, gap, 0.0)
+        clk[alive] = t
+        for r in np.flatnonzero(alive):
+            s = states[r]
+            s.blocked_on = None
+            s.send_value = None
 
     def _step_until_blocked(self, states: list[_RankState], r: int) -> bool:
         """Advance rank *r* until it finishes or blocks; return True on any progress."""
@@ -449,6 +624,12 @@ class Engine:
             st.blocked_on = req
         elif isinstance(req, Barrier):
             st.blocked_on = req
+        elif isinstance(req, CollectiveOp):
+            raise ProgramError(
+                f"rank {r} posted macro collective {req.kind!r} under the reference "
+                "scheduler; CollectiveOp requires the 'ready' scheduler (programs "
+                "should consult RankInfo.macro_collectives)"
+            )
         else:
             raise ProgramError(f"rank {r} yielded unsupported request {req!r}")
 
@@ -539,6 +720,13 @@ def run_spmd(
     *,
     trace: bool = False,
     scheduler: str | None = None,
+    macro_collectives: bool | None = None,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`Engine`."""
-    return Engine(topology, machine, trace=trace, scheduler=scheduler).run(factory)
+    return Engine(
+        topology,
+        machine,
+        trace=trace,
+        scheduler=scheduler,
+        macro_collectives=macro_collectives,
+    ).run(factory)

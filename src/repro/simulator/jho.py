@@ -35,7 +35,7 @@ import numpy as np
 from repro.simulator.collectives import my_index
 from repro.simulator.engine import RankInfo
 from repro.simulator.errors import ProgramError
-from repro.simulator.request import Recv, Send, SendAll
+from repro.simulator.request import Recv, Send, SendAll, words_of
 
 __all__ = [
     "optimal_packet_words",
@@ -193,7 +193,7 @@ def bcast_pipelined_binomial(
                 packet = flat[k * s : (k + 1) * s]
                 yield SendAll([
                     Send(dst=group[(c + root_index) % g], data=packet,
-                         nwords=packet.size, tag=tag + 1)
+                         nwords=words_of(packet), tag=tag + 1)
                     for c in children
                 ])
         return data
@@ -216,7 +216,7 @@ def bcast_pipelined_binomial(
         if children:
             yield SendAll([
                 Send(dst=group[(c + root_index) % g], data=packet,
-                     nwords=packet.size, tag=tag + 1)
+                     nwords=words_of(packet), tag=tag + 1)
                 for c in children
             ])
         pos += packet.size

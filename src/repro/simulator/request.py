@@ -23,9 +23,29 @@ Sub-operations (collectives) are ordinary generator helpers used with
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
-__all__ = ["Compute", "Send", "SendAll", "Recv", "Barrier", "Request"]
+import numpy as np
+
+__all__ = [
+    "Compute",
+    "Send",
+    "SendAll",
+    "Recv",
+    "Barrier",
+    "CollectiveOp",
+    "Request",
+    "words_of",
+]
+
+
+def words_of(data: Any) -> int:
+    """Number of matrix words in *data* (arrays count elements; scalars 1)."""
+    if isinstance(data, np.ndarray):
+        return int(data.size)
+    if isinstance(data, (list, tuple)):
+        return sum(words_of(x) for x in data)
+    return 1
 
 
 @dataclass(slots=True)
@@ -98,4 +118,44 @@ class Barrier:
     label: str = ""
 
 
-Request = Compute | Send | SendAll | Recv | Barrier
+@dataclass(slots=True)
+class CollectiveOp:
+    """One rank's share of a macro-simulated collective.
+
+    Emitted by the helpers in :mod:`repro.simulator.collectives` when the
+    engine advertises the macro fast path
+    (:attr:`~repro.simulator.engine.RankInfo.macro_collectives`).  The
+    engine parks the rank until every member of *group* has posted the
+    matching request — same ``(kind, group, tag)`` — and then simulates
+    the whole collective as one closed-form, vectorized clock/stats
+    update (:mod:`repro.simulator.macro`) whose results are bit-identical
+    to the message-level reference implementation.  The generator is
+    resumed with exactly the value the reference collective would have
+    returned.
+
+    The reference contract carries over: every member of *group* must
+    make the matching call.  A mismatched program (a member that never
+    posts) deadlocks, where the message-level path might let individual
+    ranks run ahead on partially matched traffic.
+    """
+
+    kind: str
+    """One of ``"bcast"``, ``"reduce"``, ``"allgather_rd"``,
+    ``"allgather_ring"``, ``"reduce_scatter"``, ``"shift"``."""
+
+    group: Sequence[int]
+    """Ordered member ranks.  Kept as whatever sequence the program
+    built (no copy — this sits on the per-rank hot path); the program
+    must not mutate it between posting and the collective completing."""
+
+    data: Any = None
+    nwords: int | None = None
+    tag: int = 0
+    root_index: int = 0
+    offset: int = 0
+    op: Callable[[Any, Any], Any] | None = None
+    charge_op: Callable[[Any], float] | None = None
+    charge_adds: bool = True
+
+
+Request = Compute | Send | SendAll | Recv | Barrier | CollectiveOp

@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 __all__ = [
     "Topology",
     "Hypercube",
@@ -85,6 +87,20 @@ class Topology(ABC):
     def distance(self, a: int, b: int) -> int:
         """Number of links on a shortest route from *a* to *b*."""
 
+    def distances(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`distance` over paired node arrays.
+
+        The macro collective executors charge a whole group's messages in
+        one shot, so concrete topologies override this with closed-form
+        array arithmetic; the base implementation falls back to the
+        scalar metric.
+        """
+        return np.fromiter(
+            (self.distance(int(a), int(b)) for a, b in zip(src, dst)),
+            dtype=np.int64,
+            count=len(src),
+        )
+
     @abstractmethod
     def neighbors(self, a: int) -> list[int]:
         """Directly connected nodes of *a*."""
@@ -123,6 +139,9 @@ class Hypercube(Topology):
         self._check(a, b)
         return (a ^ b).bit_count()
 
+    def distances(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(np.bitwise_xor(src, dst)).astype(np.int64)
+
     def neighbors(self, a: int) -> list[int]:
         self._check(a)
         return [a ^ (1 << k) for k in range(self.dim)]
@@ -160,6 +179,16 @@ class Mesh2D(Topology):
             ca, cb, self.cols, self.wraparound
         )
 
+    def distances(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        ra, ca = np.divmod(np.asarray(src), self.cols)
+        rb, cb = np.divmod(np.asarray(dst), self.cols)
+        dr = np.abs(ra - rb)
+        dc = np.abs(ca - cb)
+        if self.wraparound:
+            dr = np.minimum(dr, self.rows - dr)
+            dc = np.minimum(dc, self.cols - dc)
+        return (dr + dc).astype(np.int64)
+
     def neighbors(self, a: int) -> list[int]:
         r, c = self.coords(a)
         out: list[int] = []
@@ -184,6 +213,9 @@ class FullyConnected(Topology):
     def distance(self, a: int, b: int) -> int:
         self._check(a, b)
         return 0 if a == b else 1
+
+    def distances(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        return (np.asarray(src) != np.asarray(dst)).astype(np.int64)
 
     def neighbors(self, a: int) -> list[int]:
         self._check(a)

@@ -33,7 +33,7 @@ def test_rule_catalogue_is_complete():
     assert set(RULES) == {
         "DET001", "DET002", "DET003", "DET004",
         "MOD001", "MOD002", "MOD003",
-        "ENG001", "ENG002", "ENG003",
+        "ENG001", "ENG002", "ENG003", "ENG004",
     }
     for rule in RULES.values():
         assert rule.name and rule.description
@@ -418,6 +418,51 @@ def test_eng003_passes(snippet):
 def test_eng003_scoped_to_simulator():
     code = "def f(a, b):\n    return a.clock == b.clock"
     assert "ENG003" not in rule_ids(code, path=CORE_PATH)
+
+
+# -- ENG004: message sizes flow through words_of ------------------------------------
+
+COLLECTIVES_PATH = "src/repro/simulator/collectives.py"
+JHO_PATH = "src/repro/simulator/jho.py"
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "def f(dst, data):\n    yield Send(dst=dst, data=data, nwords=data.size)",
+        "def f(dst, data):\n    yield Send(dst=dst, data=data, nwords=data.nbytes // 8)",
+        "def f(dst, flat, k, s):\n"
+        "    packet = flat[k * s : (k + 1) * s]\n"
+        "    yield Send(dst=dst, data=packet, nwords=packet.size, tag=1)",
+        "def f(group, data):\n"
+        "    yield CollectiveOp(kind='bcast', group=group, data=data, nwords=data.size)",
+    ],
+)
+def test_eng004_flags(snippet):
+    assert "ENG004" in rule_ids(snippet, path=COLLECTIVES_PATH)
+    assert "ENG004" in rule_ids(snippet, path=JHO_PATH)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "def f(dst, data):\n    yield Send(dst=dst, data=data, nwords=words_of(data))",
+        "def f(dst, data, nwords):\n    yield Send(dst=dst, data=data, nwords=nwords)",
+        "def f(dst, data, m):\n    yield Send(dst=dst, data=data, nwords=2 * m)",
+        # positional nwords is not a Send keyword; other calls may use .size
+        "def f(data):\n    out = np.empty(data.size)",
+        "def f(dst, data):\n    yield Recv(src=dst, tag=data.size)",
+    ],
+)
+def test_eng004_passes(snippet):
+    assert "ENG004" not in rule_ids(snippet, path=COLLECTIVES_PATH)
+
+
+def test_eng004_scoped_to_collective_layers():
+    code = "def f(dst, data):\n    yield Send(dst=dst, data=data, nwords=data.size)"
+    # rank programs and algorithm drivers may size their own point-to-point sends
+    assert "ENG004" not in rule_ids(code, path=SIM_PATH)
+    assert "ENG004" not in rule_ids(code, path="src/repro/algorithms/cannon.py")
 
 
 # -- suppressions and selection -----------------------------------------------------

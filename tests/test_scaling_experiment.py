@@ -50,3 +50,30 @@ class TestIsoefficiencyInSimulation:
         text = scaling.format_text(res)
         assert "isoefficiency" in text
         assert "fixed problem size" in text
+
+
+class TestScaledSpeedup:
+    def test_efficiency_flat_under_memory_constrained_scaling(self):
+        """n = n0*sqrt(p) keeps Cannon's overhead-to-work ratio constant."""
+        rows = scaling.scaled_speedup("cannon", n0=8, p_values=(16, 64, 256))
+        effs = [r["efficiency_sim"] for r in rows]
+        assert max(effs) - min(effs) < 0.05
+        for r in rows:
+            assert r["efficiency_sim"] == pytest.approx(r["efficiency_model"], rel=0.1)
+
+    def test_scaled_speedup_grows_linearly_with_p(self):
+        rows = scaling.scaled_speedup("cannon", n0=8, p_values=(16, 64, 256))
+        sp = {r["p"]: r["scaled_speedup_sim"] for r in rows}
+        # E flat => S_scaled = E*p scales like p (within the E drift band)
+        assert sp[64] / sp[16] == pytest.approx(4.0, rel=0.1)
+        assert sp[256] / sp[64] == pytest.approx(4.0, rel=0.1)
+
+    def test_non_square_p_rejected(self):
+        with pytest.raises(ValueError):
+            scaling.scaled_speedup("cannon", p_values=(8,))
+
+    def test_run_large_p_and_format(self):
+        res = scaling.run_large_p(p_values=(16, 64), n0=4)
+        text = scaling.format_large_p_text(res)
+        assert "scaled speedup" in text
+        assert "cannon" in text

@@ -7,6 +7,12 @@ on the fully connected CM-5 model at the Figure 4 (``p = 64``) and
 Figure 5 (``p = 512`` / ``p = 484``) processor counts.  Every observable
 ``SimResult`` field must be bit-identical: ``T_p``, every per-rank
 stats account, message/word conservation, and the computed product.
+
+Each configuration runs with the macro-collective fast path both off
+and forced on (``MACRO_GROUP_MIN`` pinned to 2, so even the figures'
+small row/column groups take the macro executors): the ready scheduler
+with macro collectives must match the rescan reference — which always
+simulates message level — exactly.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import repro.simulator.collectives as collectives_mod
 import repro.simulator.engine as engine_mod
 from repro.algorithms.cannon import run_cannon
 from repro.algorithms.gk import run_gk_cm5
@@ -36,15 +43,19 @@ CM5_CONFIGS = [
 ]
 
 
-def _run(algorithm: str, n: int, p: int, scheduler: str, monkeypatch):
+def _run(algorithm: str, n: int, p: int, scheduler: str, macro: bool, monkeypatch):
     """One figure point under the given engine scheduler.
 
     The algorithm drivers deliberately do not expose a scheduler option
     (the engine's contract is that the choice is unobservable), so the
     process-wide default is flipped the same way ``benchmarks/perf_guard.py``
-    does.
+    does.  With *macro*, the group-size cutoff is pinned to 2 so the
+    figures' row/column groups (8–64 ranks) take the macro executors.
     """
     monkeypatch.setattr(engine_mod, "DEFAULT_SCHEDULER", scheduler)
+    monkeypatch.setattr(engine_mod, "DEFAULT_MACRO_COLLECTIVES", macro)
+    if macro:
+        monkeypatch.setattr(collectives_mod, "MACRO_GROUP_MIN", 2)
     rng = np.random.default_rng((0, n))
     A = rng.standard_normal((n, n))
     B = rng.standard_normal((n, n))
@@ -53,10 +64,14 @@ def _run(algorithm: str, n: int, p: int, scheduler: str, monkeypatch):
     return run_cannon(A, B, p, machine=CM5, topology=FullyConnected(p))
 
 
+@pytest.mark.parametrize("macro", [False, True], ids=["message-level", "macro"])
 @pytest.mark.parametrize("figure,algorithm,n,p", CM5_CONFIGS)
-def test_ready_and_rescan_identical_on_cm5_configs(figure, algorithm, n, p, monkeypatch):
-    ready = _run(algorithm, n, p, "ready", monkeypatch)
-    rescan = _run(algorithm, n, p, "rescan", monkeypatch)
+def test_ready_and_rescan_identical_on_cm5_configs(figure, algorithm, n, p, macro, monkeypatch):
+    ready = _run(algorithm, n, p, "ready", macro, monkeypatch)
+    # the rescan reference always simulates message level (the engine
+    # rejects macro requests there), so with macro=True this pins the
+    # fast path against the reference on the real figure workloads
+    rescan = _run(algorithm, n, p, "rescan", False, monkeypatch)
 
     # headline number: T_p bit-identical, not approximately equal
     assert ready.parallel_time == rescan.parallel_time
