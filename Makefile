@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke experiments examples lint clean
+.PHONY: install test bench bench-smoke experiments examples lint resilience-smoke clean
 
 install:
 	pip install -e ".[test]"
@@ -25,6 +25,11 @@ bench-smoke:
 
 experiments:
 	python -m repro.experiments all --fast
+
+# The resilience experiment (fault injection + checkpoint tradeoff) at a
+# tiny configuration; RESILIENCE.json is uploaded as a CI artifact.
+resilience-smoke:
+	python -m repro.experiments resilience --fast --json-out RESILIENCE.json
 
 examples:
 	python examples/quickstart.py

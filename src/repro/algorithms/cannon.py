@@ -32,6 +32,7 @@ from repro.blockops.partition import BlockSpec, int_sqrt
 from repro.core.machine import MachineParams, NCUBE2_LIKE
 from repro.simulator.collectives import my_index, shift_cyclic, words_of
 from repro.simulator.engine import Engine, RankInfo
+from repro.simulator.faults import FaultPlan
 from repro.simulator.request import Compute, Recv, Send, SendAll
 from repro.simulator.topology import Topology
 
@@ -123,6 +124,7 @@ def run_cannon(
     align: str = "pre",
     overlap_shifts: bool = False,
     trace: bool = False,
+    fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """Multiply *A* and *B* on *p* simulated processors with Cannon's algorithm.
 
@@ -168,7 +170,7 @@ def run_cannon(
                 overlap_shifts=overlap_shifts,
             )
 
-    sim = Engine(topo, machine, trace=trace).run(factories)
+    sim = Engine(topo, machine, trace=trace, fault_plan=fault_plan).run(factories)
 
     C = np.zeros((n, n), dtype=np.result_type(A, B))
     for (i, j), c_block in sim.returns:

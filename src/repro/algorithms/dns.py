@@ -43,6 +43,7 @@ from repro.simulator.collectives import (
     words_of,
 )
 from repro.simulator.engine import Engine, RankInfo
+from repro.simulator.faults import FaultPlan
 from repro.simulator.request import Compute, Recv, Send
 from repro.simulator.topology import Hypercube, Topology, gray_code
 
@@ -168,6 +169,7 @@ def _run_cube(
     route_mode: str | None = None,
     broadcast: str = "binomial",
     trace: bool = False,
+    fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """Shared driver for the one-element DNS and GK algorithms."""
     n = A.shape[0]
@@ -204,7 +206,7 @@ def _run_cube(
                     broadcast=broadcast,
                 )
 
-    sim = Engine(topo, machine, trace=trace).run(factories)
+    sim = Engine(topo, machine, trace=trace, fault_plan=fault_plan).run(factories)
 
     C = np.zeros((n, n), dtype=np.result_type(A, B))
     for ret in sim.returns:

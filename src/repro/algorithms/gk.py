@@ -31,6 +31,7 @@ from repro.algorithms.base import MatmulResult, check_same_shape, default_topolo
 from repro.algorithms.dns import _run_cube
 from repro.blockops.partition import int_cbrt
 from repro.core.machine import CM5, MachineParams, NCUBE2_LIKE
+from repro.simulator.faults import FaultPlan
 from repro.simulator.topology import FullyConnected, Topology
 
 __all__ = ["run_gk", "run_gk_cm5", "gk_cube_side"]
@@ -51,6 +52,7 @@ def run_gk(
     route_mode: str | None = None,
     broadcast: str = "binomial",
     trace: bool = False,
+    fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """Multiply *A* and *B* on *p* simulated processors with the GK algorithm.
 
@@ -69,7 +71,7 @@ def run_gk(
     topo = topology or default_topology(p)
     result = _run_cube(
         A, B, r, machine, topo, "gk", route_mode=route_mode,
-        broadcast=broadcast, trace=trace,
+        broadcast=broadcast, trace=trace, fault_plan=fault_plan,
     )
     return result
 
@@ -81,6 +83,7 @@ def run_gk_cm5(
     machine: MachineParams = CM5,
     *,
     trace: bool = False,
+    fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """The Section 9 configuration: GK on a fully connected CM-5 model.
 
@@ -89,5 +92,5 @@ def run_gk_cm5(
     """
     return run_gk(
         A, B, p, machine=machine, topology=FullyConnected(p), route_mode="direct",
-        trace=trace,
+        trace=trace, fault_plan=fault_plan,
     )

@@ -6,9 +6,12 @@ simulated message (ENG001 keeps them ``slots``), the trace layer is the
 single source of timing truth (ENG002 confines its construction), and
 logical clocks are accumulated floats (ENG003 bans exact equality on
 them — two schedulers that agree to within rounding must not branch
-differently on a ``==``), and message sizes flow through one accounting
+differently on a ``==``), message sizes flow through one accounting
 function (ENG004 bans hand-rolled ``.size`` arithmetic at ``Send`` call
-sites in the collective layers).
+sites in the collective layers), and all fault randomness comes from the
+``FaultPlan`` stream family (ENG005 bans any other RNG construction in
+the simulator — an ad-hoc generator would make fault schedules depend
+on call order instead of the plan).
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.analysis.astutil import decorator_name, dotted_name
+from repro.analysis.astutil import ImportMap, decorator_name, dotted_name
 from repro.analysis.core import Finding, ModuleSource, Rule, register
 
 __all__ = [
@@ -24,6 +27,7 @@ __all__ = [
     "TraceConstructionRule",
     "FloatClockEqualityRule",
     "WordsOfAccountingRule",
+    "FaultRngStreamRule",
 ]
 
 
@@ -199,3 +203,46 @@ class WordsOfAccountingRule(Rule):
                         "attribute; derive message sizes with words_of(data) "
                         "so both simulation paths share one accounting",
                     )
+
+
+@register
+class FaultRngStreamRule(Rule):
+    """ENG005: all simulator randomness flows through the fault stream family.
+
+    Fault schedules must be a pure function of the :class:`FaultPlan` —
+    keyed streams built by ``faults._stream`` — never of scheduler order
+    or of some other module's generator.  Any RNG constructed elsewhere
+    under ``repro/simulator/`` (a ``default_rng`` in the engine, a
+    ``random.Random`` in a collective) is a second source of randomness
+    that would break same-seed replay, so it is flagged regardless of
+    whether it is seeded.
+    """
+
+    rule_id = "ENG005"
+    name = "fault-rng-stream"
+    description = (
+        "RNGs in repro/simulator/ are constructed only by faults._stream"
+    )
+    path_filter = ("repro/simulator/",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        sanctioned: set[int] = set()
+        if module.filename == "faults.py":
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.FunctionDef) and node.name == "_stream":
+                    sanctioned = {id(sub) for sub in ast.walk(node)}
+                    break
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or id(node) in sanctioned:
+                continue
+            origin = imports.resolve(node.func)
+            if origin is None:
+                continue
+            if origin.startswith("numpy.random.") or origin.startswith("random."):
+                yield self.finding(
+                    module, node,
+                    f"{origin}() constructs randomness in the simulator outside "
+                    "faults._stream; all fault randomness must come from the "
+                    "FaultPlan's keyed stream family",
+                )

@@ -113,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--out", type=str, default=None, help="write to a file")
     p_sw.add_argument("--jobs", type=int, default=1,
                       help="worker processes for the sweep (1 = serial)")
+    p_sw.add_argument("--checkpoint", type=str, default=None,
+                      help="JSONL file recording completed rows as they land")
+    p_sw.add_argument("--resume", action="store_true",
+                      help="reload rows from --checkpoint instead of recomputing")
+    p_sw.add_argument("--worker-timeout", type=float, default=None,
+                      help="watchdog: seconds without a finished block before the "
+                           "worker pool is declared hung and retried inline")
     _add_machine_args(p_sw)
 
     p_g = subs.add_parser("gantt", help="trace one run and render a Gantt chart")
@@ -214,7 +221,11 @@ def _cmd_sweep(args) -> str:
     from repro.experiments.sweep import rows_to_csv, rows_to_json, sweep
 
     machine = _machine_from_args(args)
-    rows = sweep(args.algorithms, args.n_values, args.p_values, machine, jobs=args.jobs)
+    rows = sweep(
+        args.algorithms, args.n_values, args.p_values, machine,
+        jobs=args.jobs, checkpoint_path=args.checkpoint, resume=args.resume,
+        worker_timeout=args.worker_timeout,
+    )
     if args.format == "csv":
         text = rows_to_csv(rows)
     elif args.format == "json":

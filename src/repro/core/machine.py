@@ -70,12 +70,24 @@ class MachineParams:
     """Optional human-readable label."""
 
     def __post_init__(self) -> None:
-        if self.ts < 0 or self.tw < 0 or self.th < 0:
-            raise ValueError("cost parameters must be non-negative")
+        for field_name, label in (("ts", "startup time"), ("tw", "per-word time"),
+                                  ("th", "per-hop time")):
+            v = getattr(self, field_name)
+            if v < 0:
+                raise ValueError(
+                    f"{field_name} (message {label}) must be non-negative, got {v!r}; "
+                    "costs are times in basic-op units — a negative value would "
+                    "make messages finish before they start"
+                )
         if self.routing not in ("ct", "sf"):
-            raise ValueError(f"unknown routing discipline {self.routing!r}")
+            raise ValueError(
+                f"unknown routing discipline {self.routing!r}; "
+                "use 'ct' (cut-through) or 'sf' (store-and-forward)"
+            )
         if self.unit_time <= 0:
-            raise ValueError("unit_time must be positive")
+            raise ValueError(
+                f"unit_time must be positive seconds per basic op, got {self.unit_time!r}"
+            )
 
     # -- point-to-point costs -----------------------------------------------------
 

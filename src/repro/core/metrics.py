@@ -12,6 +12,7 @@ __all__ = [
     "total_overhead",
     "k_factor",
     "efficiency_from_overhead",
+    "young_checkpoint_interval",
 ]
 
 
@@ -50,3 +51,18 @@ def efficiency_from_overhead(work: float, overhead: float) -> float:
     if overhead < 0:
         raise ValueError("overhead must be non-negative")
     return 1.0 / (1.0 + overhead / work)
+
+
+def young_checkpoint_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """Young's first-order optimal checkpoint interval ``sqrt(2 * C * MTBF)``.
+
+    *checkpoint_cost* is the time one checkpoint takes and *mtbf* the
+    mean time between failures of a rank, both in the same units the
+    simulator charges.  The resilience experiment compares the simulated
+    optimum against this closed form.
+    """
+    if checkpoint_cost <= 0:
+        raise ValueError("checkpoint cost must be positive")
+    if mtbf <= 0:
+        raise ValueError("mean time between failures must be positive")
+    return (2.0 * checkpoint_cost * mtbf) ** 0.5

@@ -1,12 +1,13 @@
 """Command-line entry point: ``python -m repro.experiments <experiment>``.
 
 Experiments: table1, fig1, fig2, fig3, fig4, fig5, sec6, sec7, sec8,
-validation, all.
+validation, scaling, scaling-large, broadcast, arch, resilience, all.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments import (
@@ -15,6 +16,7 @@ from repro.experiments import (
     broadcast_study,
     figures45,
     figures123,
+    resilience,
     scaling,
     section6,
     table1,
@@ -22,11 +24,15 @@ from repro.experiments import (
     validation,
 )
 
-_EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "sec6", "sec7", "sec8", "validation", "scaling", "scaling-large", "broadcast", "arch")
+_EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "sec6", "sec7", "sec8", "validation", "scaling", "scaling-large", "broadcast", "arch", "resilience")
 
 
-def run_one(name: str, fast: bool = False, jobs: int = 1) -> str:
-    """Run one experiment and return its text report."""
+def run_one(name: str, fast: bool = False, jobs: int = 1, json_out: str | None = None) -> str:
+    """Run one experiment and return its text report.
+
+    *json_out* (only honored by experiments with a JSON form, currently
+    ``resilience``) additionally writes machine-readable results to a file.
+    """
     if name == "table1":
         return table1.format_text(table1.run())
     if name in ("fig1", "fig2", "fig3"):
@@ -56,6 +62,19 @@ def run_one(name: str, fast: bool = False, jobs: int = 1) -> str:
     if name == "broadcast":
         m_values = (32, 512, 8192) if fast else (8, 32, 128, 512, 2048, 8192, 32768)
         return broadcast_study.format_text(broadcast_study.run(m_values=m_values))
+    if name == "resilience":
+        if fast:
+            report = resilience.run(
+                n=32,
+                drop_rates=(0.0, 0.02, 0.1),
+                interval_factors=(0.5, 1.0, 2.0),
+            )
+        else:
+            report = resilience.run()
+        if json_out:
+            with open(json_out, "w") as fh:
+                json.dump(resilience.to_json(report), fh, indent=2)
+        return resilience.format_text(report)
     raise ValueError(f"unknown experiment {name!r}; known: {', '.join(_EXPERIMENTS)}")
 
 
@@ -69,12 +88,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", type=str, default=None, help="write the report to a file")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for simulation-heavy experiments (1 = serial)")
+    parser.add_argument("--json-out", type=str, default=None,
+                        help="write machine-readable results to a JSON file "
+                             "(experiments that support it, e.g. resilience)")
     args = parser.parse_args(argv)
 
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     chunks = []
     for name in names:
-        chunks.append(f"==== {name} ====\n{run_one(name, fast=args.fast, jobs=args.jobs)}\n")
+        chunks.append(
+            f"==== {name} ====\n"
+            f"{run_one(name, fast=args.fast, jobs=args.jobs, json_out=args.json_out)}\n"
+        )
     report = "\n".join(chunks)
     if args.out:
         with open(args.out, "w") as fh:

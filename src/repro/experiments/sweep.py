@@ -15,6 +15,26 @@ process-wide :func:`~repro.core.cache.result_cache`, keyed on
 ``(algorithm, n, p, machine, seed, verify)``, so re-sweeping an
 overlapping grid (a figure re-export, a CLI re-query) only simulates
 the new combinations.
+
+Crash safety
+------------
+
+A multi-hour sweep must survive its own infrastructure:
+
+* **Worker failure** — a dying worker process no longer discards the
+  whole sweep: rows from blocks that already finished are salvaged, the
+  failed block is retried once inline (in this process), and only a
+  block that fails *twice* raises :class:`SweepWorkerError`, which names
+  the offending ``n``.
+* **Watchdog** — with ``worker_timeout`` set, the pool is declared hung
+  if no block completes for that many seconds; still-pending blocks are
+  abandoned and retried inline.
+* **On-disk checkpointing** — with ``checkpoint_path`` set, every
+  completed row is appended to a JSONL file as it lands;
+  ``resume=True`` loads matching rows back so a killed sweep restarts
+  where it left off.  The file's header pins ``(machine, seed,
+  verify)``, so resuming against a checkpoint from a different
+  configuration fails loudly instead of mixing rows.
 """
 
 from __future__ import annotations
@@ -22,8 +42,9 @@ from __future__ import annotations
 import csv
 import io
 import json
-from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Sequence, TextIO
 
 import numpy as np
 
@@ -32,7 +53,23 @@ from repro.core.cache import result_cache
 from repro.core.machine import MachineParams
 from repro.core.models import MODELS
 
-__all__ = ["sweep", "rows_to_csv", "rows_to_json"]
+__all__ = ["sweep", "rows_to_csv", "rows_to_json", "SweepWorkerError"]
+
+
+class SweepWorkerError(RuntimeError):
+    """A sweep block failed in a worker *and* on its inline retry.
+
+    ``n`` identifies the offending block (all rows of one matrix size);
+    every other block's rows were salvaged and, with a checkpoint file,
+    are already on disk — rerunning with ``resume=True`` retries only
+    the failed work.
+    """
+
+    def __init__(self, n: int, cause: BaseException | str):
+        self.n = n
+        super().__init__(
+            f"sweep block n={n} failed in a worker and again on inline retry: {cause}"
+        )
 
 
 def _simulate_block(
@@ -75,6 +112,112 @@ def _simulate_block(
     return rows
 
 
+def _checkpoint_header(machine: MachineParams, seed: int, verify: bool) -> dict:
+    return {
+        "kind": "sweep-checkpoint",
+        "version": 1,
+        "machine": {"name": machine.name, "ts": machine.ts, "tw": machine.tw},
+        "seed": seed,
+        "verify": bool(verify),
+    }
+
+
+def _load_checkpoint(path: str, header: dict) -> list[dict]:
+    """Rows recorded in the checkpoint at *path* (empty if it doesn't exist).
+
+    Raises :class:`ValueError` if the file's header doesn't match the
+    current ``(machine, seed, verify)`` — rows from a different sweep
+    configuration must never be mixed in silently.
+    """
+    if not os.path.exists(path):
+        return []
+    with open(path) as fh:
+        first = fh.readline().strip()
+        if not first:
+            return []
+        try:
+            found = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path} is not a sweep checkpoint (bad header line: {exc}); "
+                "point --checkpoint at a fresh path or delete the file"
+            ) from exc
+        if found != header:
+            raise ValueError(
+                f"checkpoint {path} was written for a different sweep "
+                f"configuration (found {found}, expected {header}); resuming "
+                "would mix incompatible rows — use a different checkpoint "
+                "path or rerun with the original machine/seed/verify settings"
+            )
+        rows = []
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line)["row"])
+        return rows
+
+
+def _write_checkpoint_row(fh: TextIO, row: dict) -> None:
+    fh.write(json.dumps({"row": row}, default=float) + "\n")
+    fh.flush()
+
+
+def _run_blocks_parallel(
+    todo: dict[int, list[tuple[str, int]]],
+    machine: MachineParams,
+    seed: int,
+    verify: bool,
+    jobs: int,
+    worker_timeout: float | None,
+    block_fn: Callable,
+    on_block: Callable[[list[dict]], None],
+) -> list[int]:
+    """Fan blocks out over worker processes; return the ``n`` of every
+    block that failed (worker death, exception, or watchdog timeout).
+
+    Completed blocks are delivered through *on_block* as they land, so a
+    later failure never discards them.  The pool is abandoned (not
+    joined) when the watchdog fires — waiting on a hung worker would
+    turn a detected hang back into an undetected one.
+    """
+    failed: list[int] = []
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(todo)))
+    hung = False
+    try:
+        fut_to_n = {}
+        for n, combos in todo.items():
+            try:
+                fut_to_n[pool.submit(block_fn, n, combos, machine, seed, verify)] = n
+            except Exception:
+                # the pool broke before this block was even submitted
+                failed.append(n)
+        pending = set(fut_to_n)
+        while pending:
+            done_set, pending = wait(
+                pending, timeout=worker_timeout, return_when=FIRST_COMPLETED
+            )
+            if not done_set:
+                # watchdog: no block finished within worker_timeout
+                hung = True
+                stalled = sorted(pending, key=lambda f: fut_to_n[f])
+                for f in stalled:
+                    f.cancel()
+                failed.extend(fut_to_n[f] for f in stalled)
+                break
+            for f in done_set:
+                try:
+                    rows = f.result()
+                except Exception:
+                    # worker died (BrokenProcessPool) or the block raised;
+                    # either way the block is retried inline by the caller
+                    failed.append(fut_to_n[f])
+                else:
+                    on_block(rows)
+    finally:
+        pool.shutdown(wait=not hung, cancel_futures=True)
+    return failed
+
+
 def sweep(
     algorithms: Sequence[str],
     n_values: Sequence[int],
@@ -86,6 +229,10 @@ def sweep(
     skip_infeasible: bool = True,
     jobs: int = 1,
     cache: bool = True,
+    checkpoint_path: str | None = None,
+    resume: bool = False,
+    worker_timeout: float | None = None,
+    _block_fn: Callable | None = None,
 ) -> list[dict]:
     """Simulate every feasible ``(algorithm, n, p)`` combination.
 
@@ -97,9 +244,27 @@ def sweep(
     blocks run in worker processes, and with ``cache=True`` previously
     simulated rows are served from the shared result cache.  The row
     list is the same for every ``(jobs, cache)`` combination.
+
+    With ``checkpoint_path`` set, completed rows are appended to a JSONL
+    file as they land; ``resume=True`` reloads rows recorded for the
+    same ``(machine, seed, verify)`` so only missing work reruns.
+    ``worker_timeout`` arms a watchdog on the ``jobs > 1`` pool: if no
+    block completes for that many (wall-clock) seconds the pool is
+    declared hung and its pending blocks are retried inline.  A block
+    that fails both in a worker and on its inline retry raises
+    :class:`SweepWorkerError`; all other blocks' rows survive.
+
+    ``_block_fn`` replaces the per-block simulation function (tests use
+    it to inject crashing/hanging workers).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if worker_timeout is not None and worker_timeout <= 0:
+        raise ValueError(f"worker_timeout must be positive seconds, got {worker_timeout}")
+    if resume and checkpoint_path is None:
+        raise ValueError("resume=True needs checkpoint_path pointing at the checkpoint file")
+    block_fn = _block_fn if _block_fn is not None else _simulate_block
+
     order: list[tuple[str, int, int]] = []
     for key in algorithms:
         entry = registry.get(key)
@@ -110,36 +275,75 @@ def sweep(
                         continue
                     raise ValueError(f"{key} infeasible at (n={n}, p={p})")
                 order.append((key, int(n), int(p)))
+    wanted = set(order)
 
     store = result_cache()
     done: dict[tuple[str, int, int], dict] = {}
-    todo: dict[int, list[tuple[str, int]]] = {}
+
+    header = _checkpoint_header(machine, seed, verify)
+    recorded: set[tuple[str, int, int]] = set()
+    if checkpoint_path is not None and resume:
+        for row in _load_checkpoint(checkpoint_path, header):
+            c = (row["algorithm"], row["n"], row["p"])
+            recorded.add(c)
+            if c in wanted:
+                done[c] = row
+                if cache:
+                    store.put(("sweep-row", *c, machine, seed, verify), row)
+
     for key, n, p in order:
+        if (key, n, p) in done:
+            continue
         hit = store.get(("sweep-row", key, n, p, machine, seed, verify)) if cache else None
         if hit is not None:
             done[(key, n, p)] = hit
-        else:
+
+    todo: dict[int, list[tuple[str, int]]] = {}
+    for key, n, p in order:
+        if (key, n, p) not in done:
             todo.setdefault(n, []).append((key, p))
 
-    if todo:
-        if jobs > 1 and len(todo) > 1:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-                futures = [
-                    pool.submit(_simulate_block, n, combos, machine, seed, verify)
-                    for n, combos in todo.items()
-                ]
-                blocks = [f.result() for f in futures]
-        else:
-            blocks = [
-                _simulate_block(n, combos, machine, seed, verify)
-                for n, combos in todo.items()
-            ]
-        for rows in blocks:
-            for row in rows:
-                key_np = (row["algorithm"], row["n"], row["p"])
-                done[key_np] = row
-                if cache:
-                    store.put(("sweep-row", *key_np, machine, seed, verify), row)
+    ckpt_fh: TextIO | None = None
+    if checkpoint_path is not None:
+        fresh = not (resume and os.path.exists(checkpoint_path))
+        ckpt_fh = open(checkpoint_path, "w" if fresh else "a")
+        if fresh:
+            ckpt_fh.write(json.dumps(header) + "\n")
+            recorded.clear()
+        # make the file self-contained: rows served from the in-process
+        # cache would otherwise be missing from a later resume
+        for c, row in done.items():
+            if c not in recorded:
+                _write_checkpoint_row(ckpt_fh, row)
+                recorded.add(c)
+
+    def finish_block(rows: list[dict]) -> None:
+        for row in rows:
+            c = (row["algorithm"], row["n"], row["p"])
+            done[c] = row
+            if cache:
+                store.put(("sweep-row", *c, machine, seed, verify), row)
+            if ckpt_fh is not None:
+                _write_checkpoint_row(ckpt_fh, row)
+
+    try:
+        if todo:
+            if jobs > 1 and len(todo) > 1:
+                failed = _run_blocks_parallel(
+                    todo, machine, seed, verify, jobs, worker_timeout,
+                    block_fn, finish_block,
+                )
+                for n in failed:
+                    try:
+                        finish_block(block_fn(n, todo[n], machine, seed, verify))
+                    except Exception as exc:
+                        raise SweepWorkerError(n, exc) from exc
+            else:
+                for n, combos in todo.items():
+                    finish_block(block_fn(n, combos, machine, seed, verify))
+    finally:
+        if ckpt_fh is not None:
+            ckpt_fh.close()
 
     # copies, so callers mutating a row never corrupt the cache
     return [dict(done[c]) for c in order]

@@ -19,16 +19,23 @@ from repro.simulator.collectives import (
     words_of,
 )
 from repro.simulator.engine import Engine, RankInfo, SimResult, run_spmd
-from repro.simulator.errors import DeadlockError, ProgramError, SimulationError
+from repro.simulator.errors import (
+    DeadlockError,
+    ProgramError,
+    RankCrashError,
+    SimulationError,
+    UnrecoverableFaultError,
+)
+from repro.simulator.faults import CompiledFaults, FaultPlan
 from repro.simulator.gantt import gantt_chart
-from repro.simulator.network import LinkReservations, route_path
+from repro.simulator.network import LinkReservations, retransmit_backoff_delay, route_path
 from repro.simulator.jho import (
     bcast_pipelined_binomial,
     bcast_scatter_allgather,
     jho_broadcast_time,
     optimal_packet_words,
 )
-from repro.simulator.request import Barrier, Compute, Recv, Send, SendAll
+from repro.simulator.request import Barrier, Checkpoint, Compute, Recv, Send, SendAll
 from repro.simulator.topology import (
     FullyConnected,
     Hypercube,
@@ -46,8 +53,13 @@ __all__ = [
     "run_spmd",
     "DeadlockError",
     "ProgramError",
+    "RankCrashError",
     "SimulationError",
+    "UnrecoverableFaultError",
+    "CompiledFaults",
+    "FaultPlan",
     "Barrier",
+    "Checkpoint",
     "Compute",
     "Recv",
     "Send",
@@ -63,6 +75,7 @@ __all__ = [
     "TraceEvent",
     "gantt_chart",
     "LinkReservations",
+    "retransmit_backoff_delay",
     "route_path",
     "bcast_pipelined_binomial",
     "bcast_scatter_allgather",

@@ -29,7 +29,7 @@ Macro fast path
 ---------------
 
 When the engine advertises ``info.macro_collectives`` (tracing off, link
-contention off, event-driven scheduler), each helper validates its
+contention off, no fault plan, event-driven scheduler), each helper validates its
 arguments and then yields a single
 :class:`~repro.simulator.request.CollectiveOp` instead of its message
 sequence; the engine rendezvouses the group and applies one closed-form,

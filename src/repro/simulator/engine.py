@@ -50,7 +50,12 @@ that freedom differently:
 
 ``link_contention`` mode always uses the rescan scheduler: link
 reservations are granted in deterministic scheduler order, so the
-reference order is part of that mode's contract.
+reference order is part of that mode's contract.  An active
+``fault_plan`` (:mod:`repro.simulator.faults`) does the same — the
+recovery timeline is part of the deterministic contract — and also
+disables the macro collective fast path; a plan whose rates are all
+zero still takes that path but is bit-identical to running with no
+plan at all (the fuzz suite pins this).
 """
 
 from __future__ import annotations
@@ -63,10 +68,12 @@ import numpy as np
 
 from repro.core.machine import MachineParams
 from repro.simulator.errors import DeadlockError, ProgramError
+from repro.simulator.faults import CompiledFaults, FaultPlan
 from repro.simulator.macro import run_collective
 from repro.simulator.network import LinkReservations, route_path
 from repro.simulator.request import (
     Barrier,
+    Checkpoint,
     CollectiveOp,
     Compute,
     Recv,
@@ -139,6 +146,21 @@ class SimResult:
     """Event trace (empty unless tracing was enabled)."""
 
     nprocs: int = 0
+
+    # -- fault-model accounting (zero unless a FaultPlan injected something) --------
+
+    retransmits: int = 0
+    """Dropped message transmissions that had to be re-sent."""
+
+    faults_injected: int = 0
+    """Total fault events (crashes + drops) the plan injected."""
+
+    checkpoint_time: float = 0.0
+    """Time charged to periodic/explicit checkpoints, summed over ranks."""
+
+    recovery_time: float = 0.0
+    """Time charged to crash recovery (restart cost + lost work), summed
+    over ranks."""
 
     # -- derived metrics (Section 2) ---------------------------------------------
 
@@ -217,6 +239,7 @@ class Engine:
         link_contention: bool = False,
         scheduler: str | None = None,
         macro_collectives: bool | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         self.topology = topology
         self.machine = machine
@@ -234,6 +257,11 @@ class Engine:
         #: is only honored when tracing and link contention are off and
         #: the ready scheduler runs (the reference paths stay exact).
         self.macro_collectives = macro_collectives
+        #: deterministic fault schedule; when set, the run uses the
+        #: reference scheduler (the recovery timeline is part of the
+        #: deterministic contract) and macro collectives are disabled.
+        self.fault_plan = fault_plan
+        self._faults: CompiledFaults | None = None
         # mailboxes[(src, dst, tag)] -> FIFO of (arrival_time, payload, nwords)
         self._mail: dict[tuple[int, int, int], deque] = {}
         # (src, dst) -> hop count, filled lazily (repeated pairs dominate)
@@ -261,8 +289,8 @@ class Engine:
                 raise ValueError(f"need {p} programs, got {len(factories)}")
 
         scheduler = self.scheduler or DEFAULT_SCHEDULER
-        if self.link_contention:
-            # reservation order is defined by the reference scheduler
+        if self.link_contention or self.fault_plan is not None:
+            # reservation/recovery order is defined by the reference scheduler
             scheduler = "rescan"
         macro = (
             self.macro_collectives
@@ -274,6 +302,10 @@ class Engine:
             and scheduler == "ready"
             and not self.trace.enabled
             and not self.link_contention
+            and self.fault_plan is None
+        )
+        self._faults = (
+            self.fault_plan.compile(p) if self.fault_plan is not None else None
         )
 
         arr = RankArrays(p)
@@ -305,13 +337,20 @@ class Engine:
             self._run_rescan(states)
 
         t_p = float(arr.clock.max()) if p else 0.0
-        return SimResult(
+        result = SimResult(
             parallel_time=t_p,
             stats=arr.snapshot(),
             returns=[s.retval for s in states],
             trace=self.trace,
             nprocs=p,
         )
+        f = self._faults
+        if f is not None:
+            result.retransmits = f.retransmits
+            result.faults_injected = f.faults_injected
+            result.checkpoint_time = f.checkpoint_time
+            result.recovery_time = f.recovery_time
+        return result
 
     # -- scheduling internals ---------------------------------------------------------
 
@@ -337,7 +376,10 @@ class Engine:
                         r: repr(states[r].blocked_on)
                         for r in sorted(pending)
                         if states[r].blocked_on is not None
-                    }
+                    },
+                    fault_history=(
+                        self._faults.history if self._faults is not None else None
+                    ),
                 )
 
     def _run_ready(self, states: list[_RankState]) -> None:
@@ -479,6 +521,10 @@ class Engine:
                         st.blocked_on = req
                         barrier_blocked += 1
                         break
+                    elif cls is Checkpoint:
+                        # free without a fault plan, and a plan never runs
+                        # under this scheduler (run() forces rescan)
+                        pass
                     elif cls is CollectiveOp:
                         st.blocked_on = req
                         fire = self._post_collective(r, req, size)
@@ -611,11 +657,17 @@ class Engine:
                 return progressed
 
     def _dispatch(self, states: list[_RankState], st: _RankState, r: int, req: Request) -> None:
+        f = self._faults
         if isinstance(req, Compute):
             start = st.clock
-            st.clock += req.cost
-            st.stats.compute_time += req.cost
+            cost = req.cost
+            if f is not None:
+                cost = f.scaled_compute(r, cost)
+            st.clock += cost
+            st.stats.compute_time += cost
             self.trace.record(TraceEvent(r, start, st.clock, "compute", req.label))
+            if f is not None:
+                st.clock = f.advance(r, st.clock)
         elif isinstance(req, Send):
             self._do_send(st, r, req, start_at=st.clock, advance=True)
         elif isinstance(req, SendAll):
@@ -624,6 +676,11 @@ class Engine:
             st.blocked_on = req
         elif isinstance(req, Barrier):
             st.blocked_on = req
+        elif isinstance(req, Checkpoint):
+            if f is not None:
+                start = st.clock
+                st.clock = f.force_checkpoint(r, st.clock)
+                self.trace.record(TraceEvent(r, start, st.clock, "checkpoint", req.label))
         elif isinstance(req, CollectiveOp):
             raise ProgramError(
                 f"rank {r} posted macro collective {req.kind!r} under the reference "
@@ -639,6 +696,16 @@ class Engine:
             raise ProgramError(f"rank {r} sent to invalid rank {req.dst}")
         hops = self.topology.distance(r, req.dst)
         duration = self.machine.transfer_time(req.nwords, hops)
+        f = self._faults
+        fault_delay = 0.0
+        if f is not None:
+            duration = f.degraded_duration(r, req.dst, duration)
+            delayed = f.on_send(
+                r, req.dst, req.tag,
+                self.machine.sender_busy_time(req.nwords), st.stats, start_at,
+            )
+            fault_delay = delayed - start_at
+            start_at = delayed
         stall = 0.0
         if self.links is not None and r != req.dst:
             path = route_path(self.topology, r, req.dst)
@@ -662,7 +729,11 @@ class Engine:
                 )
             )
             st.clock = start_at + busy
-        return busy
+            if f is not None:
+                st.clock = f.advance(r, st.clock)
+        # callers that aggregate (all-port SendAll) need retransmit delay
+        # included in the per-port occupation; exact `busy` when no plan
+        return busy if f is None else fault_delay + busy
 
     def _do_send_all(self, st: _RankState, r: int, req: SendAll) -> None:
         if not req.messages:
@@ -678,6 +749,8 @@ class Engine:
             self.trace.record(
                 TraceEvent(r, start, st.clock, "send", f"all-port x{len(req.messages)}")
             )
+            if self._faults is not None:
+                st.clock = self._faults.advance(r, st.clock)
         else:
             for m in req.messages:
                 self._do_send(st, r, m, start_at=st.clock, advance=True)
@@ -695,6 +768,8 @@ class Engine:
         self.trace.record(
             TraceEvent(r, start, st.clock, "recv", f"<-{req.src} {nwords}w", tag=req.tag)
         )
+        if self._faults is not None:
+            st.clock = self._faults.advance(r, st.clock)
         return payload
 
     def _try_release_barrier(self, states: list[_RankState]) -> bool:
@@ -703,11 +778,14 @@ class Engine:
         if not waiting or not all(isinstance(s.blocked_on, Barrier) for s in waiting):
             return False
         t = max(s.clock for s in waiting)
+        f = self._faults
         for s in waiting:
             if t > s.clock:
                 s.stats.barrier_wait_time += t - s.clock
             self.trace.record(TraceEvent(s.stats.rank, s.clock, t, "barrier"))
             s.clock = t
+            if f is not None:
+                s.clock = f.advance(s.stats.rank, s.clock)
             s.blocked_on = None
             s.send_value = None
         return True
@@ -721,6 +799,7 @@ def run_spmd(
     trace: bool = False,
     scheduler: str | None = None,
     macro_collectives: bool | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`Engine`."""
     return Engine(
@@ -729,4 +808,5 @@ def run_spmd(
         trace=trace,
         scheduler=scheduler,
         macro_collectives=macro_collectives,
+        fault_plan=fault_plan,
     ).run(factory)

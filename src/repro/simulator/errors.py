@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
-__all__ = ["SimulationError", "DeadlockError", "ProgramError"]
+from typing import Iterable
+
+__all__ = [
+    "SimulationError",
+    "DeadlockError",
+    "ProgramError",
+    "RankCrashError",
+    "UnrecoverableFaultError",
+]
 
 
 class SimulationError(Exception):
@@ -10,13 +18,61 @@ class SimulationError(Exception):
 
 
 class DeadlockError(SimulationError):
-    """Raised when every unfinished rank is blocked and no message can unblock any."""
+    """Raised when every unfinished rank is blocked and no message can unblock any.
 
-    def __init__(self, blocked: dict[int, str]):
+    When a fault plan is active, *fault_history* carries the fault events
+    injected before the deadlock — a crash-induced deadlock then reads
+    very differently from a program bug.
+    """
+
+    def __init__(self, blocked: dict[int, str], fault_history: Iterable[str] | None = None):
         self.blocked = blocked
+        self.fault_history = list(fault_history) if fault_history is not None else []
         detail = ", ".join(f"rank {r}: {w}" for r, w in sorted(blocked.items()))
-        super().__init__(f"simulation deadlocked; blocked ranks: {detail}")
+        message = f"simulation deadlocked; blocked ranks: {detail}"
+        if self.fault_history:
+            message += "; faults injected before deadlock: " + "; ".join(self.fault_history)
+        super().__init__(message)
 
 
 class ProgramError(SimulationError):
     """Raised when a rank program yields a malformed request."""
+
+
+class RankCrashError(SimulationError):
+    """Raised when an injected rank crash cannot be recovered.
+
+    A crash is recoverable only if the rank has a checkpoint to roll back
+    to — either periodic checkpointing is enabled on the
+    :class:`~repro.simulator.faults.FaultPlan` or the program yielded an
+    explicit :class:`~repro.simulator.request.Checkpoint` earlier.
+    """
+
+    def __init__(self, rank: int, time: float):
+        self.rank = rank
+        self.time = time
+        super().__init__(
+            f"rank {rank} crashed at t={time:g} with no checkpoint to recover from; "
+            "set FaultPlan.checkpoint_interval to enable periodic checkpointing, or "
+            "have the program yield Checkpoint() before the crash"
+        )
+
+
+class UnrecoverableFaultError(SimulationError):
+    """Raised when a message exceeds the retransmission budget.
+
+    The fault model retries a dropped message with exponential backoff up
+    to ``FaultPlan.max_retries`` times; past that the link is treated as
+    dead and the simulation aborts rather than charging unbounded time.
+    """
+
+    def __init__(self, src: int, dst: int, tag: int, max_retries: int):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.max_retries = max_retries
+        super().__init__(
+            f"message {src}->{dst} (tag {tag}) was dropped more than "
+            f"max_retries={max_retries} times; the link is effectively dead "
+            "(raise FaultPlan.max_retries or lower drop_rate)"
+        )

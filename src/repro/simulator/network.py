@@ -31,7 +31,26 @@ from dataclasses import dataclass, field
 
 from repro.simulator.topology import FullyConnected, Hypercube, Mesh2D, Topology
 
-__all__ = ["route_path", "LinkReservations"]
+__all__ = ["route_path", "LinkReservations", "retransmit_backoff_delay"]
+
+
+def retransmit_backoff_delay(timeout: float, backoff: float, attempts: int) -> float:
+    """Total acknowledgment-timeout wait for *attempts* failed transmissions.
+
+    The fault model (:mod:`repro.simulator.faults`) detects a dropped
+    message when its acknowledgment timer expires; the timer starts at
+    *timeout* and is multiplied by *backoff* after every failure
+    (exponential backoff).  The delay charged on top of the failed
+    injections is therefore ``timeout * (1 + backoff + backoff^2 + ...)``
+    over *attempts* terms, accumulated left-to-right so the engine and
+    any closed-form re-derivation agree bit-for-bit.
+    """
+    total = 0.0
+    t = timeout
+    for _ in range(attempts):
+        total += t
+        t *= backoff
+    return total
 
 
 def route_path(topology: Topology, src: int, dst: int) -> list[int]:

@@ -33,6 +33,7 @@ __all__ = [
     "SendAll",
     "Recv",
     "Barrier",
+    "Checkpoint",
     "CollectiveOp",
     "Request",
     "words_of",
@@ -119,6 +120,20 @@ class Barrier:
 
 
 @dataclass(slots=True)
+class Checkpoint:
+    """Save recoverable state now (fault-model hook).
+
+    Under an active :class:`~repro.simulator.faults.FaultPlan` the rank
+    pays ``checkpoint_cost``, becomes recoverable from this point, and
+    its periodic checkpoint schedule restarts from here.  Without a
+    fault plan the request is free and the clock does not move, so
+    programs may checkpoint unconditionally.
+    """
+
+    label: str = ""
+
+
+@dataclass(slots=True)
 class CollectiveOp:
     """One rank's share of a macro-simulated collective.
 
@@ -158,4 +173,4 @@ class CollectiveOp:
     charge_adds: bool = True
 
 
-Request = Compute | Send | SendAll | Recv | Barrier | CollectiveOp
+Request = Compute | Send | SendAll | Recv | Barrier | Checkpoint | CollectiveOp

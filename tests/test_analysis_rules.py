@@ -33,7 +33,7 @@ def test_rule_catalogue_is_complete():
     assert set(RULES) == {
         "DET001", "DET002", "DET003", "DET004",
         "MOD001", "MOD002", "MOD003",
-        "ENG001", "ENG002", "ENG003", "ENG004",
+        "ENG001", "ENG002", "ENG003", "ENG004", "ENG005",
     }
     for rule in RULES.values():
         assert rule.name and rule.description
@@ -463,6 +463,46 @@ def test_eng004_scoped_to_collective_layers():
     # rank programs and algorithm drivers may size their own point-to-point sends
     assert "ENG004" not in rule_ids(code, path=SIM_PATH)
     assert "ENG004" not in rule_ids(code, path="src/repro/algorithms/cannon.py")
+
+
+# -- ENG005: simulator randomness only via faults._stream ---------------------------
+
+FAULTS_PATH = "src/repro/simulator/faults.py"
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import numpy as np\nrng = np.random.default_rng(42)",
+        "from numpy.random import default_rng\nrng = default_rng((1, 2))",
+        "import numpy as np\nrng = np.random.RandomState(0)",
+        "import random\nrng = random.Random(7)",
+        "import random\nx = random.random()",
+    ],
+)
+def test_eng005_flags_rng_in_simulator(snippet):
+    # even *seeded* construction is flagged inside the simulator: fault
+    # randomness must come from the FaultPlan's keyed stream family
+    assert "ENG005" in rule_ids(snippet, path=SIM_PATH)
+    assert "ENG005" in rule_ids(snippet, path=FAULTS_PATH)
+
+
+def test_eng005_allows_stream_in_faults():
+    code = """\
+    import numpy as np
+
+    def _stream(*key):
+        return np.random.default_rng(key)
+    """
+    assert "ENG005" not in rule_ids(code, path=FAULTS_PATH)
+    # the same helper anywhere else in the simulator is still a violation
+    assert "ENG005" in rule_ids(code, path=SIM_PATH)
+
+
+def test_eng005_scoped_to_simulator():
+    code = "import numpy as np\nrng = np.random.default_rng((seed, n))"
+    assert "ENG005" not in rule_ids(code, path=CORE_PATH)
+    assert "ENG005" not in rule_ids(code, path="src/repro/experiments/figures45.py")
 
 
 # -- suppressions and selection -----------------------------------------------------

@@ -3,13 +3,51 @@
 import csv
 import io
 import json
+import os
+import time
 
 import pytest
 
 from repro.core.machine import MachineParams
-from repro.experiments.sweep import rows_to_csv, rows_to_json, sweep
+from repro.experiments.sweep import (
+    SweepWorkerError,
+    _simulate_block,
+    rows_to_csv,
+    rows_to_json,
+    sweep,
+)
 
 M = MachineParams(ts=10.0, tw=2.0)
+
+
+# -- crash-injection block functions ------------------------------------------------
+#
+# Module-level so they pickle into ProcessPoolExecutor workers.  They
+# coordinate through environment variables (inherited by forked workers)
+# and flag files, because worker processes share no Python state with
+# the test.
+
+
+def crash_worker_once(n, combos, machine, seed, verify):
+    """Die hard (os._exit, like a segfault) the first time block n=16 runs."""
+    flag = os.environ["SWEEP_TEST_FLAG"]
+    if n == 16 and not os.path.exists(flag):
+        open(flag, "w").close()
+        os._exit(1)
+    return _simulate_block(n, combos, machine, seed, verify)
+
+
+def always_fail_block(n, combos, machine, seed, verify):
+    if n == 16:
+        raise RuntimeError("injected block failure")
+    return _simulate_block(n, combos, machine, seed, verify)
+
+
+def hang_in_worker(n, combos, machine, seed, verify):
+    """Hang block n=16 in worker processes only; inline retries succeed."""
+    if n == 16 and os.getpid() != int(os.environ["SWEEP_TEST_MAIN_PID"]):
+        time.sleep(30.0)
+    return _simulate_block(n, combos, machine, seed, verify)
 
 
 class TestSweep:
@@ -103,3 +141,104 @@ class TestSweepModes:
         # verification still runs per row (against the shared reference)
         rows = self._grid(cache=False, verify=True)
         assert rows == self._grid(cache=False, verify=False)
+
+
+# a machine no other test uses, so the shared result cache can't leak rows in
+CKPT_M = MachineParams(ts=11.0, tw=3.0, name="ckpt-test")
+
+
+def _ckpt_sweep(path=None, **kw):
+    kw.setdefault("cache", False)
+    return sweep(["cannon"], [8, 16], [4, 16], CKPT_M, checkpoint_path=path, **kw)
+
+
+class TestCheckpoint:
+    def test_rows_land_on_disk(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        rows = _ckpt_sweep(path)
+        lines = [json.loads(l) for l in open(path) if l.strip()]
+        header, row_lines = lines[0], lines[1:]
+        assert header["kind"] == "sweep-checkpoint"
+        assert header["machine"]["ts"] == 11.0
+        assert len(row_lines) == len(rows)
+        assert sorted(
+            (r["row"]["algorithm"], r["row"]["n"], r["row"]["p"]) for r in row_lines
+        ) == sorted((r["algorithm"], r["n"], r["p"]) for r in rows)
+
+    def test_resume_recomputes_nothing_when_complete(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        rows = _ckpt_sweep(path)
+
+        def boom(*a):  # no block may run on a complete checkpoint
+            raise AssertionError("resume recomputed a finished block")
+
+        resumed = _ckpt_sweep(path, resume=True, _block_fn=boom)
+        assert resumed == rows
+
+    def test_resume_runs_only_missing_blocks(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        sweep(["cannon"], [8], [4, 16], CKPT_M, cache=False, checkpoint_path=path)
+        ran = []
+
+        def counting(n, combos, machine, seed, verify):
+            ran.append(n)
+            return _simulate_block(n, combos, machine, seed, verify)
+
+        resumed = _ckpt_sweep(path, resume=True, _block_fn=counting)
+        assert ran == [16]
+        assert resumed == _ckpt_sweep()
+        # the file is now self-contained: a second resume recomputes nothing
+        again = _ckpt_sweep(path, resume=True, _block_fn=counting)
+        assert ran == [16] and again == resumed
+
+    def test_header_mismatch_fails_loudly(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        _ckpt_sweep(path)
+        with pytest.raises(ValueError, match="different sweep configuration"):
+            _ckpt_sweep(path, resume=True, seed=1)
+
+    def test_garbage_file_fails_loudly(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text("definitely not json\n")
+        with pytest.raises(ValueError, match="not a sweep checkpoint"):
+            _ckpt_sweep(str(path), resume=True)
+
+    def test_resume_needs_a_path(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            sweep(["cannon"], [8], [4], CKPT_M, resume=True)
+
+    def test_worker_timeout_validation(self):
+        with pytest.raises(ValueError, match="worker_timeout"):
+            sweep(["cannon"], [8], [4], CKPT_M, worker_timeout=0.0)
+
+
+class TestCrashRecovery:
+    """A dying/hanging worker must cost a retry, never the sweep."""
+
+    def _parallel(self, **kw):
+        return _ckpt_sweep(jobs=2, **kw)
+
+    def test_worker_death_is_retried_inline(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SWEEP_TEST_FLAG", str(tmp_path / "crashed"))
+        rows = self._parallel(_block_fn=crash_worker_once)
+        assert os.path.exists(str(tmp_path / "crashed"))  # the crash really fired
+        assert rows == _ckpt_sweep()
+
+    def test_twice_failing_block_names_the_n(self, tmp_path):
+        path = str(tmp_path / "ck.jsonl")
+        with pytest.raises(SweepWorkerError, match="n=16") as exc:
+            self._parallel(path=path, _block_fn=always_fail_block)
+        assert exc.value.n == 16
+        # the other block's rows were salvaged to disk before the raise
+        salvaged = [json.loads(l)["row"] for l in list(open(path))[1:] if l.strip()]
+        assert {r["n"] for r in salvaged} == {8}
+        # and a resume retries only the failed block
+        resumed = _ckpt_sweep(path, resume=True)
+        assert resumed == _ckpt_sweep()
+
+    def test_watchdog_rescues_hung_worker(self, monkeypatch):
+        monkeypatch.setenv("SWEEP_TEST_MAIN_PID", str(os.getpid()))
+        start = time.monotonic()
+        rows = self._parallel(_block_fn=hang_in_worker, worker_timeout=1.0)
+        assert time.monotonic() - start < 25.0  # did not wait out the 30 s sleep
+        assert rows == _ckpt_sweep()
