@@ -28,11 +28,13 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
 from repro.algorithms import registry
+from repro.core.cache import cache_stats, configure_disk_cache
 from repro.core.isoefficiency import isoefficiency
 from repro.core.machine import PRESETS, MachineParams
 from repro.core.memory import memory_table
@@ -66,6 +68,16 @@ def _add_machine_args(sub) -> None:
     sub.add_argument("--tw", type=float, default=None, help="override per-word time")
 
 
+def _add_cache_args(sub) -> None:
+    sub.add_argument("--cache-dir", type=str, default=None,
+                     help="directory for the persistent result cache "
+                          "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    sub.add_argument("--no-disk-cache", action="store_true",
+                     help="disable the persistent on-disk result cache")
+    sub.add_argument("--cache-stats", action="store_true",
+                     help="print cache hit/miss counters after the command")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -93,7 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_reg = subs.add_parser("regions", help="render a region map (Figures 1-3 style)")
     p_reg.add_argument("--log2-p-max", type=int, default=30)
     p_reg.add_argument("--log2-n-max", type=int, default=16)
+    p_reg.add_argument("--refine", action="store_true",
+                       help="adaptive refinement: evaluate only near region boundaries")
+    p_reg.add_argument("--max-depth", type=int, default=None,
+                       help="refinement recursion depth limit (default: to unit cells)")
+    p_reg.add_argument("--tol", type=float, default=None,
+                       help="refinement gap tolerance per octave of cell extent")
     _add_machine_args(p_reg)
+    _add_cache_args(p_reg)
 
     p_iso = subs.add_parser("iso", help="isoefficiency function W(p)")
     p_iso.add_argument("algorithm", choices=sorted(MODELS))
@@ -121,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="watchdog: seconds without a finished block before the "
                            "worker pool is declared hung and retried inline")
     _add_machine_args(p_sw)
+    _add_cache_args(p_sw)
 
     p_g = subs.add_parser("gantt", help="trace one run and render a Gantt chart")
     p_g.add_argument("algorithm", choices=sorted(registry.REGISTRY))
@@ -255,6 +275,8 @@ def _cmd_gantt(args) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if hasattr(args, "no_disk_cache"):
+        configure_disk_cache(args.cache_dir, enabled=not args.no_disk_cache)
     if args.command == "run":
         out = _cmd_run(args)
     elif args.command == "select":
@@ -264,7 +286,12 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "regions":
         machine = _machine_from_args(args)
         out = region_map(
-            machine, log2_p_max=args.log2_p_max, log2_n_max=args.log2_n_max
+            machine,
+            log2_p_max=args.log2_p_max,
+            log2_n_max=args.log2_n_max,
+            refine=args.refine,
+            max_depth=args.max_depth,
+            tol=args.tol,
         ).render()
     elif args.command == "iso":
         out = _cmd_iso(args)
@@ -277,6 +304,8 @@ def main(argv: list[str] | None = None) -> int:
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(f"unknown command {args.command!r}")
     print(out)
+    if getattr(args, "cache_stats", False):
+        print(f"cache stats: {json.dumps(cache_stats())}")
     return 0
 
 

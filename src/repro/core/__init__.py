@@ -3,6 +3,13 @@ isoefficiency, crossovers, regions, all-port analysis, technology
 scaling, and the algorithm selector."""
 
 from repro.core.allport import ALLPORT_MODELS, GKAllPortModel, SimpleAllPortModel
+from repro.core.cache import (
+    DiskCache,
+    ResultCache,
+    configure_disk_cache,
+    disk_cache,
+    result_cache,
+)
 from repro.core.crossover import (
     cannon_gk_closed_form,
     crossover_curve,
@@ -53,7 +60,13 @@ from repro.core.models import (
     GKModel,
     SimpleModel,
 )
-from repro.core.regions import LETTER_OF, RegionMap, best_algorithm, region_map
+from repro.core.refine import (
+    RefinedGrid,
+    refine_crossover_curve,
+    refine_winner_grid,
+    winner_at_points,
+)
+from repro.core.regions import LETTER_OF, RegionMap, best_algorithm, region_map, winner_grid
 from repro.core.prediction import TimingSample, calibrate, fit_machine_params, predict
 from repro.core.scaled_speedup import (
     ScaledPoint,
@@ -124,6 +137,16 @@ __all__ = [
     "RegionMap",
     "best_algorithm",
     "region_map",
+    "winner_grid",
+    "RefinedGrid",
+    "refine_winner_grid",
+    "refine_crossover_curve",
+    "winner_at_points",
+    "ResultCache",
+    "DiskCache",
+    "result_cache",
+    "disk_cache",
+    "configure_disk_cache",
     "Selection",
     "select",
     "select_and_run",

@@ -26,6 +26,7 @@ from typing import Sequence
 import numpy as np
 from scipy.optimize import brentq
 
+from repro.core.cache import disk_cache, result_cache
 from repro.core.machine import MachineParams
 from repro.core.models import MODELS, AlgorithmModel, log2
 
@@ -186,6 +187,12 @@ def dns_beats_gk_max_procs(
     return hi
 
 
+def _is_registered(model: AlgorithmModel) -> bool:
+    """Only registry instances are safe to cache by key (custom instances
+    with a colliding ``key`` must not alias each other's entries)."""
+    return MODELS.get(model.key) is model
+
+
 def crossover_curve(
     a: AlgorithmModel | str,
     b: AlgorithmModel | str,
@@ -194,17 +201,60 @@ def crossover_curve(
     *,
     n_lo: float = 1.0,
     n_hi: float = 1e15,
+    cache: bool = True,
 ) -> list[tuple[float, float | None]]:
     """``n_EqualTo(p)`` sampled over *p_values* (the plain lines of Figs 1-3).
 
     The scan for sign changes is evaluated for *all* processor counts at
     once on a ``(len(p_values), 400)`` overhead-difference grid; only
     the per-*p* Brent refinement of a found bracket stays scalar.
+
+    With ``cache=True`` (the default) finished curves are memoized in
+    the shared result cache and persisted to the on-disk tier, keyed on
+    the model pair, machine, and sample spec, so re-deriving a figure's
+    curves — within the process or in a later one — skips the Brent
+    scans entirely.  Only models registered in
+    :data:`~repro.core.models.MODELS` participate; anonymous model
+    instances always compute fresh.
     """
     ma, mb = _as_model(a), _as_model(b)
     ps = [float(p) for p in p_values]
     if not ps:
         return []
+    use_cache = cache and _is_registered(ma) and _is_registered(mb)
+    mem_key = ("crossover_curve", ma.key, mb.key, machine, tuple(ps), n_lo, n_hi)
+    if use_cache:
+        hit = result_cache().get(mem_key)
+        if hit is not None:
+            return list(hit)
+
+    disk = disk_cache() if use_cache else None
+    disk_key = None
+    if disk is not None:
+        disk_key = disk.key_for(
+            {
+                "kind": "crossover_curve",
+                "a": ma.key,
+                "b": mb.key,
+                "machine": machine,
+                "p_values": ps,
+                "n_lo": n_lo,
+                "n_hi": n_hi,
+            }
+        )
+        # the payload is a handful of floats: a JSON shard reloads much
+        # faster than an NPZ (no zip machinery) and round-trips floats
+        # exactly via shortest-repr
+        shard = disk.get_json(disk_key)
+        if (
+            isinstance(shard, list)
+            and len(shard) == len(ps)
+            and all(n is None or isinstance(n, float) for n in shard)
+        ):
+            curve = [(p, shard[i]) for i, p in enumerate(ps)]
+            result_cache().put(mem_key, tuple(curve))
+            return curve
+
     xs = np.linspace(math.log(n_lo), math.log(n_hi), 400)
     ns = np.exp(xs)[None, :]
     p_col = np.asarray(ps)[:, None]
@@ -213,7 +263,12 @@ def crossover_curve(
             ma.overhead_grid(ns, p_col, machine) - mb.overhead_grid(ns, p_col, machine)
         )
     diffs = np.broadcast_to(diffs, (len(ps), xs.size))
-    return [
+    curve = [
         (p, _refine_crossing(ma, mb, p, machine, xs, diffs[i]))
         for i, p in enumerate(ps)
     ]
+    if use_cache:
+        result_cache().put(mem_key, tuple(curve))
+        if disk is not None and disk_key is not None:
+            disk.put_json(disk_key, [n for _, n in curve])
+    return curve

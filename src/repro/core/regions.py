@@ -20,7 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.cache import result_cache
+from repro.core.cache import disk_cache, result_cache
 from repro.core.machine import MachineParams
 from repro.core.models import COMPARISON_MODELS, MODELS
 
@@ -53,6 +53,13 @@ def best_algorithm(
     minimizing ``T_o`` the same as minimizing ``T_p``); the Table 1
     applicability ranges are enforced, so a model with a mathematically
     smaller overhead does not win where it cannot run.
+
+    Tie rule: models are scanned in *model_keys* order and only a
+    *strictly* smaller overhead takes the lead, so when two algorithms
+    have exactly equal overhead on a boundary cell the one listed
+    earlier in *model_keys* wins.  :func:`winner_grid` and the adaptive
+    :mod:`repro.core.refine` layer implement the identical rule — the
+    refinement's bit-identity contract depends on all three agreeing.
     """
     best_key, best_to = "x", float("inf")
     for key in model_keys:
@@ -117,8 +124,10 @@ def winner_grid(
     per ``(n, p)`` point.  Returns an ``(len(n_values), len(p_values))``
     integer array indexing into *model_keys*, with ``len(model_keys)``
     as the "no algorithm applicable" sentinel.  Ties and iteration order
-    match :func:`best_algorithm` exactly (first strict improvement
-    wins), so the two agree cell-for-cell.
+    match :func:`best_algorithm` exactly — only a *strictly* smaller
+    overhead dethrones the current leader, so an exact tie is won by the
+    model listed earliest in *model_keys* — and the two agree
+    cell-for-cell.
     """
     n_arr = np.asarray(n_values, dtype=float)[:, None]
     p_arr = np.asarray(p_values, dtype=float)[None, :]
@@ -137,6 +146,13 @@ def winner_grid(
     return winner
 
 
+def _cells_from_winners(
+    winners: np.ndarray, model_keys: tuple[str, ...]
+) -> tuple[tuple[str, ...], ...]:
+    labels = tuple(model_keys) + ("x",)
+    return tuple(tuple(labels[w] for w in row) for row in winners)
+
+
 def region_map(
     machine: MachineParams,
     *,
@@ -146,28 +162,90 @@ def region_map(
     n_step: int = 1,
     model_keys: tuple[str, ...] = COMPARISON_MODELS,
     cache: bool = True,
+    refine: bool = False,
+    max_depth: int | None = None,
+    tol: float | None = None,
 ) -> RegionMap:
     """Compute a region map over a log-spaced ``(p, n)`` grid.
 
     Defaults cover the ranges plotted in the paper's Figures 1-3
     (processors up to ~``2^30``, matrices up to ``2^16``).  The whole
     plane is labelled with array operations (see :func:`winner_grid`);
-    with ``cache=True`` (the default) the finished map is memoized in
+    with ``refine=True`` it is instead labelled adaptively
+    (:func:`repro.core.refine.refine_winner_grid` with *max_depth* /
+    *tol*), evaluating only cells near region boundaries — on the
+    paper's machine regimes the result is identical, cell for cell.
+
+    With ``cache=True`` (the default) the finished map is memoized in
     the process-wide result cache shared with the sweep harness and the
     CLI, keyed on the machine, grid, and model set — :class:`RegionMap`
-    is immutable, so the cached instance is returned directly.
+    is immutable, so the cached instance is returned directly — and the
+    underlying winner array additionally persists in the on-disk tier
+    (:func:`repro.core.cache.disk_cache`), so a second process
+    rebuilding the same map reloads it instead of recomputing.
+    ``cache=False`` bypasses both tiers.
     """
-    cache_key = ("region_map", machine, log2_p_max, log2_n_max, p_step, n_step, model_keys)
+    # local import: refine builds on the models layer and is only needed here
+    from repro.core.refine import DEFAULT_TOL
+
+    eff_tol = DEFAULT_TOL if tol is None else tol
+    spec = (log2_p_max, log2_n_max, p_step, n_step, model_keys)
+    cache_key: tuple = ("region_map", machine, *spec)
+    if refine:
+        cache_key = ("region_map-refined", machine, *spec, max_depth, eff_tol)
     if cache:
         hit = result_cache().get(cache_key)
         if hit is not None:
             return hit
     p_values = tuple(float(2**k) for k in range(0, log2_p_max + 1, p_step))
     n_values = tuple(float(2**k) for k in range(0, log2_n_max + 1, n_step))
-    winners = winner_grid(machine, n_values, p_values, model_keys)
-    labels = tuple(model_keys) + ("x",)
-    cells = tuple(tuple(labels[w] for w in row) for row in winners)
-    rmap = RegionMap(machine=machine, p_values=p_values, n_values=n_values, cells=cells)
+
+    disk = disk_cache() if cache else None
+    disk_key = None
+    winners: np.ndarray | None = None
+    if disk is not None:
+        disk_key = disk.key_for(
+            {
+                "kind": "region_map",
+                "machine": machine,
+                "log2_p_max": log2_p_max,
+                "log2_n_max": log2_n_max,
+                "p_step": p_step,
+                "n_step": n_step,
+                "model_keys": list(model_keys),
+                "refine": refine,
+                "max_depth": max_depth,
+                "tol": eff_tol,
+            }
+        )
+        # winner grids here are small (one int per power-of-two cell), so
+        # a JSON shard beats NPZ: no zip machinery on the reload path
+        shard = disk.get_json(disk_key)
+        if (
+            isinstance(shard, list)
+            and len(shard) == len(n_values)
+            and all(isinstance(row, list) and len(row) == len(p_values) for row in shard)
+        ):
+            winners = np.asarray(shard, dtype=np.intp)
+
+    if winners is None:
+        if refine:
+            from repro.core.refine import refine_winner_grid
+
+            winners = refine_winner_grid(
+                machine, n_values, p_values, model_keys, max_depth=max_depth, tol=eff_tol
+            ).winners
+        else:
+            winners = winner_grid(machine, n_values, p_values, model_keys)
+        if disk is not None and disk_key is not None:
+            disk.put_json(disk_key, [[int(w) for w in row] for row in winners])
+
+    rmap = RegionMap(
+        machine=machine,
+        p_values=p_values,
+        n_values=n_values,
+        cells=_cells_from_winners(winners, model_keys),
+    )
     if cache:
         result_cache().put(cache_key, rmap)
     return rmap

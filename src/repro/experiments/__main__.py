@@ -10,6 +10,7 @@ import argparse
 import json
 import sys
 
+from repro.core.cache import cache_stats, configure_disk_cache
 from repro.experiments import (
     allport,
     architectures,
@@ -27,17 +28,31 @@ from repro.experiments import (
 _EXPERIMENTS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "sec6", "sec7", "sec8", "validation", "scaling", "scaling-large", "broadcast", "arch", "resilience")
 
 
-def run_one(name: str, fast: bool = False, jobs: int = 1, json_out: str | None = None) -> str:
+def run_one(
+    name: str,
+    fast: bool = False,
+    jobs: int = 1,
+    json_out: str | None = None,
+    refine: bool = False,
+    max_depth: int | None = None,
+    tol: float | None = None,
+) -> str:
     """Run one experiment and return its text report.
 
     *json_out* (only honored by experiments with a JSON form, currently
     ``resilience``) additionally writes machine-readable results to a file.
+    *refine*/*max_depth*/*tol* select the adaptive region-map path for
+    the figure experiments (see :mod:`repro.core.refine`).
     """
     if name == "table1":
         return table1.format_text(table1.run())
     if name in ("fig1", "fig2", "fig3"):
         step = 2 if fast else 1
-        return figures123.format_text(figures123.run(name, p_step=step, n_step=step))
+        return figures123.format_text(
+            figures123.run(
+                name, p_step=step, n_step=step, refine=refine, max_depth=max_depth, tol=tol
+            )
+        )
     if name == "fig4":
         sizes = (16, 48, 96, 144) if fast else figures45._FIG4_SIZES
         return figures45.format_text(figures45.run_fig4(sizes=sizes, jobs=jobs))
@@ -91,20 +106,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json-out", type=str, default=None,
                         help="write machine-readable results to a JSON file "
                              "(experiments that support it, e.g. resilience)")
+    parser.add_argument("--refine", action="store_true",
+                        help="adaptive region-map refinement for fig1-3 "
+                             "(evaluate only near region boundaries)")
+    parser.add_argument("--max-depth", type=int, default=None,
+                        help="refinement recursion depth limit (default: to unit cells)")
+    parser.add_argument("--tol", type=float, default=None,
+                        help="refinement gap tolerance per octave of cell extent")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="directory for the persistent result cache "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="disable the persistent on-disk result cache")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print cache hit/miss counters after the run")
     args = parser.parse_args(argv)
 
+    configure_disk_cache(args.cache_dir, enabled=not args.no_disk_cache)
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     chunks = []
     for name in names:
         chunks.append(
             f"==== {name} ====\n"
-            f"{run_one(name, fast=args.fast, jobs=args.jobs, json_out=args.json_out)}\n"
+            f"{run_one(name, fast=args.fast, jobs=args.jobs, json_out=args.json_out, refine=args.refine, max_depth=args.max_depth, tol=args.tol)}\n"
         )
     report = "\n".join(chunks)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report)
     print(report)
+    if args.cache_stats:
+        print(f"cache stats: {json.dumps(cache_stats())}")
     return 0
 
 

@@ -58,8 +58,18 @@ def run(
     log2_n_max: int = 16,
     p_step: int = 1,
     n_step: int = 1,
+    refine: bool = False,
+    max_depth: int | None = None,
+    tol: float | None = None,
 ) -> FigureResult:
-    """Regenerate one of Figures 1-3 (``figure`` in ``{"fig1","fig2","fig3"}``)."""
+    """Regenerate one of Figures 1-3 (``figure`` in ``{"fig1","fig2","fig3"}``).
+
+    With ``refine=True`` the region map is computed adaptively
+    (:func:`repro.core.refine.refine_winner_grid` via
+    :func:`~repro.core.regions.region_map`), evaluating only cells near
+    the region boundaries; on the paper's machine regimes the result is
+    identical cell for cell.  *max_depth* / *tol* tune the refinement.
+    """
     if figure not in FIGURE_MACHINES:
         raise ValueError(f"figure must be one of {sorted(FIGURE_MACHINES)}, got {figure!r}")
     machine = FIGURE_MACHINES[figure]
@@ -69,6 +79,9 @@ def run(
         log2_n_max=log2_n_max,
         p_step=p_step,
         n_step=n_step,
+        refine=refine,
+        max_depth=max_depth,
+        tol=tol,
     )
     p_samples = [float(2**k) for k in range(2, log2_p_max + 1, max(p_step, 1) * 2)]
     curves = {

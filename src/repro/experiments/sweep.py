@@ -14,7 +14,12 @@ without changing any row.  Finished rows are memoized in the
 process-wide :func:`~repro.core.cache.result_cache`, keyed on
 ``(algorithm, n, p, machine, seed, verify)``, so re-sweeping an
 overlapping grid (a figure re-export, a CLI re-query) only simulates
-the new combinations.
+the new combinations.  Completed blocks additionally persist as JSON
+shards in the on-disk tier (:func:`~repro.core.cache.disk_cache`), so a
+*second process* running the same sweep reloads its blocks instead of
+re-simulating; shards are written only by the parent process (workers
+never touch the cache directory) via atomic renames, making concurrent
+``--jobs`` sweeps over the same directory safe.
 
 Crash safety
 ------------
@@ -49,7 +54,7 @@ from typing import Callable, Sequence, TextIO
 import numpy as np
 
 from repro.algorithms import registry
-from repro.core.cache import result_cache
+from repro.core.cache import disk_cache, result_cache
 from repro.core.machine import MachineParams
 from repro.core.models import MODELS
 
@@ -242,8 +247,10 @@ def sweep(
     ``skip_infeasible=False``).  Matrices are regenerated per *n* from a
     seeded RNG so rows are reproducible; with ``jobs > 1`` the per-``n``
     blocks run in worker processes, and with ``cache=True`` previously
-    simulated rows are served from the shared result cache.  The row
-    list is the same for every ``(jobs, cache)`` combination.
+    simulated rows are served from the shared result cache and finished
+    blocks persist to (and reload from) the on-disk tier across
+    processes.  The row list is the same for every ``(jobs, cache)``
+    combination.
 
     With ``checkpoint_path`` set, completed rows are appended to a JSONL
     file as they land; ``resume=True`` reloads rows recorded for the
@@ -303,6 +310,37 @@ def sweep(
         if (key, n, p) not in done:
             todo.setdefault(n, []).append((key, p))
 
+    disk = disk_cache() if cache else None
+
+    def block_shard_key(n: int, combos: Sequence[tuple[str, int]]) -> str:
+        assert disk is not None
+        return disk.key_for(
+            {
+                "kind": "sweep-block",
+                "n": n,
+                "combos": [[key, p] for key, p in combos],
+                "machine": machine,
+                "seed": seed,
+                "verify": verify,
+            }
+        )
+
+    if disk is not None:
+        for n in list(todo):
+            combos = todo[n]
+            shard = disk.get_json(block_shard_key(n, combos))
+            if not isinstance(shard, list) or len(shard) != len(combos):
+                continue
+            if any(
+                not isinstance(r, dict) or r.get("n") != n for r in shard
+            ) or [(r["algorithm"], r["p"]) for r in shard] != combos:
+                continue
+            for row in shard:
+                c = (row["algorithm"], row["n"], row["p"])
+                done[c] = row
+                store.put(("sweep-row", *c, machine, seed, verify), row)
+            del todo[n]
+
     ckpt_fh: TextIO | None = None
     if checkpoint_path is not None:
         fresh = not (resume and os.path.exists(checkpoint_path))
@@ -325,6 +363,12 @@ def sweep(
                 store.put(("sweep-row", *c, machine, seed, verify), row)
             if ckpt_fh is not None:
                 _write_checkpoint_row(ckpt_fh, row)
+        # persist the finished block; this runs in the parent process
+        # only, so workers never write to the cache directory
+        if disk is not None and rows:
+            n = rows[0]["n"]
+            if n in todo and [(r["algorithm"], r["p"]) for r in rows] == todo[n]:
+                disk.put_json(block_shard_key(n, todo[n]), rows)
 
     try:
         if todo:

@@ -5,7 +5,27 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core import cache as cache_mod
 from repro.core.machine import MachineParams
+
+
+@pytest.fixture(autouse=True)
+def _sandbox_caches(tmp_path, monkeypatch):
+    """Isolate both cache tiers per test.
+
+    The disk tier defaults to ``~/.cache/repro``; without this fixture
+    tests would read shards left by earlier runs (or by the user) and
+    leak their own.  Each test gets a fresh temp directory and an empty
+    memory tier, and ``$REPRO_CACHE_DIR`` is pointed there too so
+    subprocess-spawning tests stay sandboxed.
+    """
+    cache_dir = tmp_path / "repro-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    cache_mod.configure_disk_cache(cache_dir)
+    cache_mod.result_cache().clear()
+    yield
+    cache_mod.configure_disk_cache(None)
+    cache_mod.result_cache().clear()
 
 
 @pytest.fixture

@@ -57,6 +57,36 @@ class TestInfoCommands:
         assert main(["regions", "--log2-p-max", "10", "--log2-n-max", "6"]) == 0
         assert "n=2^" in capsys.readouterr().out
 
+    def test_regions_refine_matches_dense(self, capsys):
+        assert main(["regions", "--no-disk-cache"]) == 0
+        dense = capsys.readouterr().out
+        assert main(["regions", "--no-disk-cache", "--refine"]) == 0
+        assert capsys.readouterr().out == dense
+
+    def test_regions_refine_tol_and_depth_flags(self, capsys):
+        assert main(
+            ["regions", "--log2-p-max", "10", "--log2-n-max", "6",
+             "--refine", "--max-depth", "2", "--tol", "0.5", "--no-disk-cache"]
+        ) == 0
+        assert "n=2^" in capsys.readouterr().out
+
+    def test_cache_stats_reports_warm_hit(self, capsys, tmp_path):
+        import json
+
+        from repro.core.cache import result_cache
+
+        cache_dir = str(tmp_path / "shards")
+        argv = ["regions", "--log2-p-max", "10", "--log2-n-max", "6",
+                "--cache-dir", cache_dir, "--cache-stats"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        result_cache().clear()  # simulate a fresh process: disk tier only
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        stats = json.loads(out.rsplit("cache stats:", 1)[1])
+        assert stats["disk"]["hits"] > 0
+        assert stats["disk"]["dir"] == cache_dir
+
     def test_iso(self, capsys):
         assert main(["iso", "cannon", "--log2-p-max", "8"]) == 0
         out = capsys.readouterr().out

@@ -165,3 +165,40 @@ class TestCLI:
 
         with pytest.raises(SystemExit):
             main(["fig9"])
+
+    def test_refine_matches_dense_figure(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig2", "--fast"]) == 0
+        dense_out = capsys.readouterr().out
+        assert main(["fig2", "--fast", "--refine", "--no-disk-cache"]) == 0
+        refined_out = capsys.readouterr().out
+        assert refined_out == dense_out
+
+    def test_cache_stats_reports_warm_hit(self, capsys, tmp_path):
+        import json
+
+        from repro.experiments.__main__ import main
+
+        cache_dir = str(tmp_path / "shards")
+        assert main(["fig1", "--fast", "--cache-dir", cache_dir, "--cache-stats"]) == 0
+        cold = capsys.readouterr().out
+        assert "cache stats:" in cold
+        # second process-equivalent run: clear the memory tier, keep the disk
+        from repro.core.cache import result_cache
+
+        result_cache().clear()
+        assert main(["fig1", "--fast", "--cache-dir", cache_dir, "--cache-stats"]) == 0
+        warm = capsys.readouterr().out
+        stats = json.loads(warm.rsplit("cache stats:", 1)[1])
+        assert stats["disk"]["hits"] > 0
+        assert warm.rsplit("cache stats:", 1)[0] == cold.rsplit("cache stats:", 1)[0]
+
+    def test_no_disk_cache_flag(self, capsys, tmp_path):
+        import json
+
+        from repro.experiments.__main__ import main
+
+        assert main(["fig1", "--fast", "--no-disk-cache", "--cache-stats"]) == 0
+        stats = json.loads(capsys.readouterr().out.rsplit("cache stats:", 1)[1])
+        assert stats["disk"] is None

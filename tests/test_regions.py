@@ -48,6 +48,60 @@ class TestBestAlgorithm:
         assert best_algorithm(256, 2**13, SIMD_CM2_LIKE) == "cannon"
 
 
+class TestTieBreaking:
+    """Exact overhead ties are deterministic: earliest key in model_keys wins.
+
+    A zero-communication machine makes every applicable model's overhead
+    exactly 0.0, turning the whole feasible plane into ties — the
+    scalar, dense, and scattered implementations must all pick the first
+    applicable model, in the same order.
+    """
+
+    def test_tie_goes_to_earliest_applicable_model(self, zero_comm):
+        from repro.core.models import COMPARISON_MODELS, MODELS
+
+        for n, p in ((256, 256), (64, 4096), (16, 4096), (1024, 4)):
+            expected = next(
+                (k for k in COMPARISON_MODELS if MODELS[k].applicable(n, p)), "x"
+            )
+            assert best_algorithm(n, p, zero_comm) == expected
+
+    def test_dense_and_scattered_grids_agree_on_ties(self, zero_comm):
+        import numpy as np
+
+        from repro.core.models import COMPARISON_MODELS
+        from repro.core.refine import refine_winner_grid, winner_at_points
+        from repro.core.regions import winner_grid
+
+        n_values = tuple(float(2**k) for k in range(0, 13))
+        p_values = tuple(float(2**k) for k in range(0, 17))
+        d = winner_grid(zero_comm, n_values, p_values)
+        scalar = np.array(
+            [
+                [
+                    (*COMPARISON_MODELS, "x").index(best_algorithm(n, p, zero_comm))
+                    for p in p_values
+                ]
+                for n in n_values
+            ]
+        )
+        np.testing.assert_array_equal(d, scalar)
+        w, _ = winner_at_points(
+            zero_comm,
+            np.asarray(n_values)[:, None],
+            np.asarray(p_values)[None, :],
+        )
+        np.testing.assert_array_equal(w, d)
+        ref = refine_winner_grid(zero_comm, n_values, p_values)
+        np.testing.assert_array_equal(ref.winners, d)
+
+    def test_model_keys_order_decides_the_tie(self, zero_comm):
+        # berntsen and cannon tie at (256, 256); whichever is listed
+        # first must win
+        assert best_algorithm(256, 256, zero_comm, ("berntsen", "cannon")) == "berntsen"
+        assert best_algorithm(256, 256, zero_comm, ("cannon", "berntsen")) == "cannon"
+
+
 class TestRegionMap:
     def test_grid_dimensions(self):
         rm = region_map(NCUBE2_LIKE, log2_p_max=10, log2_n_max=6, p_step=2, n_step=2)

@@ -152,6 +152,57 @@ def _ckpt_sweep(path=None, **kw):
     return sweep(["cannon"], [8, 16], [4, 16], CKPT_M, checkpoint_path=path, **kw)
 
 
+class TestDiskTier:
+    """Finished sweep blocks persist across processes via the disk cache."""
+
+    def test_second_run_is_served_from_disk(self):
+        from repro.core.cache import disk_cache, result_cache
+
+        rows = sweep(["cannon"], [16, 32], [4, 16], M)
+        assert disk_cache().stats()["writes"] >= 2  # one shard per n-block
+        result_cache().clear()  # force the next run past the memory tier
+
+        calls = []
+
+        def counting_block(n, combos, machine, seed, verify):
+            calls.append(n)
+            return _simulate_block(n, combos, machine, seed, verify)
+
+        again = sweep(["cannon"], [16, 32], [4, 16], M, _block_fn=counting_block)
+        assert calls == []  # nothing recomputed
+        assert again == rows
+        assert disk_cache().stats()["hits"] >= 2
+
+    def test_different_seed_misses(self):
+        from repro.core.cache import result_cache
+
+        sweep(["cannon"], [16], [4], M, seed=0)
+        result_cache().clear()
+        calls = []
+
+        def counting_block(n, combos, machine, seed, verify):
+            calls.append(n)
+            return _simulate_block(n, combos, machine, seed, verify)
+
+        sweep(["cannon"], [16], [4], M, seed=1, _block_fn=counting_block)
+        assert calls == [16]
+
+    def test_cache_false_bypasses_disk(self):
+        from repro.core.cache import disk_cache
+
+        sweep(["cannon"], [16], [4], M, cache=False)
+        stats = disk_cache().stats()
+        assert stats["writes"] == 0 and stats["hits"] == 0
+
+    def test_rows_identical_after_json_roundtrip(self):
+        from repro.core.cache import result_cache
+
+        rows = sweep(["cannon", "gk"], [16], [4, 16], M)
+        result_cache().clear()
+        again = sweep(["cannon", "gk"], [16], [4, 16], M)
+        assert again == rows
+
+
 class TestCheckpoint:
     def test_rows_land_on_disk(self, tmp_path):
         path = str(tmp_path / "ck.jsonl")
