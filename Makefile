@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke experiments examples lint resilience-smoke clean
+.PHONY: install test bench bench-smoke experiments examples lint resilience-smoke scale-16k-smoke clean
 
 install:
 	pip install -e ".[test]"
@@ -30,6 +30,13 @@ experiments:
 # tiny configuration; RESILIENCE.json is uploaded as a CI artifact.
 resilience-smoke:
 	python -m repro.experiments resilience --fast --json-out RESILIENCE.json
+
+# A complete 16384-rank Cannon simulation on the event-heap scheduler
+# (scaling-large's default).  --no-verify skips the host-side product
+# check so the run stays under the tier-1 timeout; correctness at this
+# scale is covered by the verified 4096-rank point in `experiments`.
+scale-16k-smoke:
+	python -m repro.experiments scaling-large --p-values 16384 --n0 2 --no-verify --no-disk-cache
 
 examples:
 	python examples/quickstart.py

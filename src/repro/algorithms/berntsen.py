@@ -87,6 +87,7 @@ def run_berntsen(
     *,
     enforce_concurrency_limit: bool = True,
     trace: bool = False,
+    scheduler: str | None = None,
 ) -> MatmulResult:
     """Multiply *A* and *B* on ``p = 2**(3q)`` simulated processors (Berntsen).
 
@@ -148,7 +149,7 @@ def run_berntsen(
                     reduce_group,
                 )
 
-    sim = Engine(topo, machine, trace=trace).run(factories)
+    sim = Engine(topo, machine, trace=trace, scheduler=scheduler).run(factories)
 
     # Reassemble: for each grid position the summed C block lives striped
     # (by flattened-word interval) across the nsub corresponding ranks.

@@ -124,6 +124,7 @@ def run_cannon(
     align: str = "pre",
     overlap_shifts: bool = False,
     trace: bool = False,
+    scheduler: str | None = None,
     fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """Multiply *A* and *B* on *p* simulated processors with Cannon's algorithm.
@@ -170,7 +171,9 @@ def run_cannon(
                 overlap_shifts=overlap_shifts,
             )
 
-    sim = Engine(topo, machine, trace=trace, fault_plan=fault_plan).run(factories)
+    sim = Engine(
+        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan
+    ).run(factories)
 
     C = np.zeros((n, n), dtype=np.result_type(A, B))
     for (i, j), c_block in sim.returns:

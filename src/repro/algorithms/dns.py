@@ -169,6 +169,7 @@ def _run_cube(
     route_mode: str | None = None,
     broadcast: str = "binomial",
     trace: bool = False,
+    scheduler: str | None = None,
     fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """Shared driver for the one-element DNS and GK algorithms."""
@@ -206,7 +207,9 @@ def _run_cube(
                     broadcast=broadcast,
                 )
 
-    sim = Engine(topo, machine, trace=trace, fault_plan=fault_plan).run(factories)
+    sim = Engine(
+        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan
+    ).run(factories)
 
     C = np.zeros((n, n), dtype=np.result_type(A, B))
     for ret in sim.returns:
@@ -224,6 +227,7 @@ def run_dns_one_per_element(
     topology: Topology | None = None,
     *,
     trace: bool = False,
+    scheduler: str | None = None,
 ) -> MatmulResult:
     """Multiply with the original DNS formulation: ``p = n^3``, one element per PE.
 
@@ -232,7 +236,7 @@ def run_dns_one_per_element(
     """
     n = check_same_shape(A, B)
     topo = topology or default_topology(n**3)
-    return _run_cube(A, B, n, machine, topo, "dns", trace=trace)
+    return _run_cube(A, B, n, machine, topo, "dns", trace=trace, scheduler=scheduler)
 
 
 def _dns_block_rank_of(r: int, s: int) -> Callable[[int, int, int, int, int], int]:
@@ -334,6 +338,7 @@ def run_dns_block(
     topology: Topology | None = None,
     *,
     trace: bool = False,
+    scheduler: str | None = None,
 ) -> MatmulResult:
     """Multiply with the §4.5.2 DNS variant on ``p = n^2 * r`` processors.
 
@@ -378,7 +383,7 @@ def run_dns_block(
                             i, j, k, li, lj, r, s, rank_of, a0, b0, route_mode
                         )
 
-    sim = Engine(topo, machine, trace=trace).run(factories)
+    sim = Engine(topo, machine, trace=trace, scheduler=scheduler).run(factories)
 
     C = np.zeros((n, n), dtype=np.result_type(A, B))
     for ret in sim.returns:

@@ -108,6 +108,7 @@ def run_fox(
     *,
     broadcast: str = "ring",
     trace: bool = False,
+    scheduler: str | None = None,
 ) -> MatmulResult:
     """Multiply *A* and *B* on *p* simulated processors with Fox's algorithm.
 
@@ -136,7 +137,7 @@ def run_fox(
                 i, j, a_blocks[i][j], b_blocks[i][j], row_group, col_group, broadcast
             )
 
-    sim = Engine(topo, machine, trace=trace).run(factories)
+    sim = Engine(topo, machine, trace=trace, scheduler=scheduler).run(factories)
 
     C = np.zeros((n, n), dtype=np.result_type(A, B))
     for (i, j), c_block in sim.returns:

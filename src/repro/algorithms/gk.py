@@ -52,6 +52,7 @@ def run_gk(
     route_mode: str | None = None,
     broadcast: str = "binomial",
     trace: bool = False,
+    scheduler: str | None = None,
     fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """Multiply *A* and *B* on *p* simulated processors with the GK algorithm.
@@ -71,7 +72,8 @@ def run_gk(
     topo = topology or default_topology(p)
     result = _run_cube(
         A, B, r, machine, topo, "gk", route_mode=route_mode,
-        broadcast=broadcast, trace=trace, fault_plan=fault_plan,
+        broadcast=broadcast, trace=trace, scheduler=scheduler,
+        fault_plan=fault_plan,
     )
     return result
 
@@ -83,6 +85,7 @@ def run_gk_cm5(
     machine: MachineParams = CM5,
     *,
     trace: bool = False,
+    scheduler: str | None = None,
     fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """The Section 9 configuration: GK on a fully connected CM-5 model.
@@ -92,5 +95,5 @@ def run_gk_cm5(
     """
     return run_gk(
         A, B, p, machine=machine, topology=FullyConnected(p), route_mode="direct",
-        trace=trace, fault_plan=fault_plan,
+        trace=trace, scheduler=scheduler, fault_plan=fault_plan,
     )

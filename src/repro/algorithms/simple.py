@@ -71,6 +71,7 @@ def run_simple(
     topology: Topology | None = None,
     *,
     trace: bool = False,
+    scheduler: str | None = None,
 ) -> MatmulResult:
     """Multiply *A* and *B* on *p* simulated processors with the simple algorithm.
 
@@ -100,7 +101,7 @@ def run_simple(
                 i, j, a_blocks[i][j], b_blocks[i][j], row_group, col_group, use_ring
             )
 
-    sim = Engine(topo, machine, trace=trace).run(factories)
+    sim = Engine(topo, machine, trace=trace, scheduler=scheduler).run(factories)
 
     C = np.zeros((n, n), dtype=np.result_type(A, B))
     for (i, j), c_block, _peak in sim.returns:

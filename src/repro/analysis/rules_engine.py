@@ -11,7 +11,11 @@ function (ENG004 bans hand-rolled ``.size`` arithmetic at ``Send`` call
 sites in the collective layers), and all fault randomness comes from the
 ``FaultPlan`` stream family (ENG005 bans any other RNG construction in
 the simulator — an ad-hoc generator would make fault schedules depend
-on call order instead of the plan).
+on call order instead of the plan), and the event-heap core keeps its
+two hot-loop disciplines (ENG006: no ``TraceEvent`` — and therefore no
+label f-string — built when tracing is off, and every heap insertion
+goes through the one ``Engine._schedule`` helper that owns the
+``(timestamp, priority, seq, rank)`` ordering contract).
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ __all__ = [
     "FloatClockEqualityRule",
     "WordsOfAccountingRule",
     "FaultRngStreamRule",
+    "HeapDisciplineRule",
 ]
 
 
@@ -245,4 +250,78 @@ class FaultRngStreamRule(Rule):
                     f"{origin}() constructs randomness in the simulator outside "
                     "faults._stream; all fault randomness must come from the "
                     "FaultPlan's keyed stream family",
+                )
+
+
+@register
+class HeapDisciplineRule(Rule):
+    """ENG006: the engine's inner loops keep the event-heap disciplines.
+
+    Two conventions make the heap scheduler both fast and deterministic,
+    and both are easy to regress one call site at a time:
+
+    * **No trace objects when tracing is off.**  A ``TraceEvent`` (and
+      the f-string label built at its call site) costs more than the
+      whole charge for a small message; constructing one per event with
+      tracing disabled silently erases most of the heap scheduler's win.
+      Every ``TraceEvent(...)`` in ``engine.py`` must therefore sit
+      inside an ``if`` guarded by the tracing flag (``self.trace.enabled``
+      or a hoisted ``tracing`` local).
+    * **One insertion point.**  The heap's total order is the
+      ``(timestamp, priority, seq, rank)`` key, and the monotone ``seq``
+      that makes ties deterministic is owned by ``Engine._schedule``.  A
+      ``heappush`` anywhere else can push a malformed key (or reuse a
+      sequence number) and break replay determinism, so all insertion
+      must go through that one helper.
+    """
+
+    rule_id = "ENG006"
+    name = "engine-heap-discipline"
+    description = (
+        "engine.py builds TraceEvent only under a tracing guard and "
+        "heappushes only inside Engine._schedule"
+    )
+    path_filter = ("repro/simulator/engine.py",)
+
+    #: identifiers that mark an ``if`` test as a tracing guard
+    _GUARD_IDENTS = ("enabled", "tracing")
+
+    def _is_tracing_guard(self, test: ast.expr) -> bool:
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Attribute) and sub.attr in self._GUARD_IDENTS:
+                return True
+            if isinstance(sub, ast.Name) and sub.id in self._GUARD_IDENTS:
+                return True
+        return False
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        guarded: set[int] = set()
+        schedule_body: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.If) and self._is_tracing_guard(node.test):
+                guarded.update(
+                    id(sub) for stmt in node.body for sub in ast.walk(stmt)
+                )
+            elif isinstance(node, ast.FunctionDef) and node.name == "_schedule":
+                schedule_body = {id(sub) for sub in ast.walk(node)}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            tail = name.split(".")[-1]
+            if tail == "TraceEvent" and id(node) not in guarded:
+                yield self.finding(
+                    module, node,
+                    "TraceEvent constructed without a tracing-enabled guard; "
+                    "engine inner loops must not build events (or their label "
+                    "strings) when tracing is disabled",
+                )
+            elif tail == "heappush" and id(node) not in schedule_body:
+                yield self.finding(
+                    module, node,
+                    "heappush outside Engine._schedule; all event insertion "
+                    "goes through the schedule() helper so the (timestamp, "
+                    "priority, seq, rank) ordering contract holds",
                 )

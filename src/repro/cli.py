@@ -38,6 +38,7 @@ from repro.core.cache import cache_stats, configure_disk_cache
 from repro.core.isoefficiency import isoefficiency
 from repro.core.machine import PRESETS, MachineParams
 from repro.core.memory import memory_table
+from repro.simulator.engine import SCHEDULERS
 from repro.core.models import MODELS
 from repro.core.regions import region_map
 from repro.core.selector import select
@@ -60,6 +61,14 @@ def _machine_from_args(args) -> MachineParams:
             name="custom",
         )
     return base
+
+
+def _add_scheduler_arg(sub) -> None:
+    sub.add_argument(
+        "--scheduler", choices=SCHEDULERS, default=None,
+        help="engine scheduler (results are bit-identical; 'heap' scales "
+        "best past a few thousand ranks, see docs/performance.md)",
+    )
 
 
 def _add_machine_args(sub) -> None:
@@ -91,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("-n", type=int, default=64, help="matrix order")
     p_run.add_argument("-p", type=int, default=16, help="processor count")
     p_run.add_argument("--seed", type=int, default=0)
+    _add_scheduler_arg(p_run)
     _add_machine_args(p_run)
 
     p_sel = subs.add_parser("select", help="pick the best algorithm for (n, p)")
@@ -147,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_g.add_argument("-n", type=int, default=32)
     p_g.add_argument("-p", type=int, default=16)
     p_g.add_argument("--width", type=int, default=100)
+    _add_scheduler_arg(p_g)
     _add_machine_args(p_g)
     return parser
 
@@ -162,7 +173,7 @@ def _cmd_run(args) -> str:
             f"{args.algorithm} cannot run n={args.n}, p={args.p} "
             f"(feasible here: {registry.feasible_algorithms(args.n, args.p)})"
         )
-    result = entry.run(A, B, args.p, machine=machine)
+    result = entry.run(A, B, args.p, machine=machine, scheduler=args.scheduler)
     ok = np.allclose(result.C, A @ B)
     model = MODELS[entry.model_key]
     return format_kv(
@@ -269,7 +280,7 @@ def _cmd_gantt(args) -> str:
     rng = np.random.default_rng(0)
     A = rng.standard_normal((args.n, args.n))
     B = rng.standard_normal((args.n, args.n))
-    result = entry.run(A, B, args.p, machine=machine, trace=True)
+    result = entry.run(A, B, args.p, machine=machine, trace=True, scheduler=args.scheduler)
     return gantt_chart(result.sim.trace, width=args.width)
 
 

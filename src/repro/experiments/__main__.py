@@ -36,6 +36,10 @@ def run_one(
     refine: bool = False,
     max_depth: int | None = None,
     tol: float | None = None,
+    p_values: tuple[int, ...] | None = None,
+    n0: int | None = None,
+    verify: bool = True,
+    scheduler: str | None = None,
 ) -> str:
     """Run one experiment and return its text report.
 
@@ -43,6 +47,9 @@ def run_one(
     ``resilience``) additionally writes machine-readable results to a file.
     *refine*/*max_depth*/*tol* select the adaptive region-map path for
     the figure experiments (see :mod:`repro.core.refine`).
+    *p_values*/*n0*/*verify*/*scheduler* tune ``scaling-large`` (the
+    16k-rank smoke run in CI uses them; ``scheduler`` defaults to the
+    event-heap core there, see docs/performance.md).
     """
     if name == "table1":
         return table1.format_text(table1.run())
@@ -70,8 +77,14 @@ def run_one(
     if name == "scaling":
         return scaling.format_text(scaling.run())
     if name == "scaling-large":
-        p_values = (64, 256, 1024) if fast else (64, 256, 1024, 4096)
-        return scaling.format_large_p_text(scaling.run_large_p(p_values=p_values))
+        if p_values is None:
+            p_values = (64, 256, 1024) if fast else (64, 256, 1024, 4096)
+        kwargs: dict = {"p_values": p_values, "verify": verify}
+        if n0 is not None:
+            kwargs["n0"] = n0
+        if scheduler is not None:
+            kwargs["scheduler"] = scheduler
+        return scaling.format_large_p_text(scaling.run_large_p(**kwargs))
     if name == "arch":
         return architectures.format_text(architectures.run())
     if name == "broadcast":
@@ -113,6 +126,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="refinement recursion depth limit (default: to unit cells)")
     parser.add_argument("--tol", type=float, default=None,
                         help="refinement gap tolerance per octave of cell extent")
+    parser.add_argument("--p-values", type=int, nargs="+", default=None,
+                        help="processor counts for scaling-large (each must be a "
+                             "perfect square; the heap scheduler carries 16384+)")
+    parser.add_argument("--n0", type=int, default=None,
+                        help="per-rank base problem size for scaling-large")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the host-side product check in scaling-large "
+                             "(the 16k smoke run uses this to stay under the "
+                             "tier-1 timeout)")
+    parser.add_argument("--scheduler", type=str, default=None,
+                        choices=("ready", "rescan", "heap"),
+                        help="engine scheduler for scaling-large "
+                             "(default: heap; see docs/performance.md)")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="directory for the persistent result cache "
                              "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
@@ -128,7 +154,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         chunks.append(
             f"==== {name} ====\n"
-            f"{run_one(name, fast=args.fast, jobs=args.jobs, json_out=args.json_out, refine=args.refine, max_depth=args.max_depth, tol=args.tol)}\n"
+            f"{run_one(name, fast=args.fast, jobs=args.jobs, json_out=args.json_out, refine=args.refine, max_depth=args.max_depth, tol=args.tol, p_values=tuple(args.p_values) if args.p_values else None, n0=args.n0, verify=not args.no_verify, scheduler=args.scheduler)}\n"
         )
     report = "\n".join(chunks)
     if args.out:

@@ -124,6 +124,7 @@ def scaled_speedup(
     machine: MachineParams = _MACHINE,
     seed: int = 0,
     verify: bool = True,
+    scheduler: str | None = None,
 ) -> list[dict]:
     """Memory-constrained scaled speedup at large machine sizes.
 
@@ -136,8 +137,12 @@ def scaled_speedup(
     simulation confirms with full discrete-event runs.
 
     These are the largest complete simulations in the repo (4096 live
-    rank generators by default); the array-backed engine core and the
-    macro-collective fast path are what keep them tractable.
+    rank generators by default, 16384-65536 with the heap scheduler);
+    the array-backed engine core, the macro-collective fast path, and
+    the event-heap scheduler are what keep them tractable.  *scheduler*
+    is forwarded to the engine (``None`` keeps the process default;
+    ``"heap"`` is what ``scaling-large`` uses past a few thousand
+    ranks — see docs/performance.md).
     """
     rng = np.random.default_rng(seed)
     rows = []
@@ -150,7 +155,7 @@ def scaled_speedup(
             raise ValueError(f"{key} infeasible at n={n}, p={p}")
         A = rng.standard_normal((n, n))
         B = rng.standard_normal((n, n))
-        res = registry.run(key, A, B, p, machine)
+        res = registry.run(key, A, B, p, machine, scheduler=scheduler)
         if verify:
             assert np.allclose(res.C, A @ B)
         rows.append(
@@ -180,9 +185,21 @@ def run_large_p(
     machine: MachineParams = _MACHINE,
     p_values: tuple[int, ...] = (64, 256, 1024, 4096),
     n0: int = 8,
+    verify: bool = True,
+    scheduler: str | None = "heap",
 ) -> dict[str, list[dict]]:
+    """The ``scaling-large`` experiment: scaled speedup on big machines.
+
+    Defaults to the event-heap scheduler — every *p* in *p_values* must
+    be a perfect square, and with ``n0`` small the heap core carries the
+    run to 16384 and 65536 ranks (``make scale-16k-smoke`` exercises the
+    16k point in CI).
+    """
     return {
-        "scaled_cannon": scaled_speedup("cannon", n0=n0, p_values=p_values, machine=machine),
+        "scaled_cannon": scaled_speedup(
+            "cannon", n0=n0, p_values=p_values, machine=machine,
+            verify=verify, scheduler=scheduler,
+        ),
     }
 
 

@@ -32,6 +32,7 @@ __all__ = [
     "Hypercube",
     "Mesh2D",
     "FullyConnected",
+    "PairHopCache",
     "gray_code",
     "gray_rank",
     "inverse_gray_code",
@@ -220,6 +221,53 @@ class FullyConnected(Topology):
     def neighbors(self, a: int) -> list[int]:
         self._check(a)
         return [b for b in range(self.size) if b != a]
+
+
+class PairHopCache:
+    """Precomputed hop tables for the event-heap scheduler's batches.
+
+    The heap scheduler charges a whole batch of same-timestamp messages
+    in one shot, so it needs routed hop counts for arrays of
+    ``(src, dst)`` pairs, clamped to at least one link exactly like the
+    scalar message path (``max(distance(src, dst), 1)``).
+
+    The three concrete topologies answer :meth:`Topology.distances` in
+    closed-form array arithmetic, so for them :meth:`bulk` is a single
+    vectorized call.  A topology that only defines the scalar metric
+    would fall into the base class's Python-loop fallback on every
+    batch; for those the cache memoizes per-pair results instead
+    (repeated pairs dominate the lockstep exchange patterns the heap
+    scheduler targets).
+    """
+
+    __slots__ = ("_topology", "_vectorized", "_pairs")
+
+    def __init__(self, topology: "Topology"):
+        self._topology = topology
+        self._vectorized = type(topology).distances is not Topology.distances
+        self._pairs: dict[tuple[int, int], int] = {}
+
+    def bulk(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Routed hops (``>= 1``) for paired source/destination arrays."""
+        if self._vectorized:
+            return np.maximum(self._topology.distances(src, dst), 1)
+        pairs = self._pairs
+        distance = self._topology.distance
+        out = np.empty(len(src), dtype=np.int64)
+        for i, (a, b) in enumerate(zip(src.tolist(), dst.tolist())):
+            hops = pairs.get((a, b))
+            if hops is None:
+                hops = pairs[(a, b)] = max(distance(a, b), 1)
+            out[i] = hops
+        return out
+
+    def hop(self, a: int, b: int) -> int:
+        """Scalar routed hop count (``>= 1``), memoized per pair."""
+        pairs = self._pairs
+        hops = pairs.get((a, b))
+        if hops is None:
+            hops = pairs[(a, b)] = max(self._topology.distance(a, b), 1)
+        return hops
 
 
 def square_side(p: int) -> int:

@@ -33,7 +33,7 @@ def test_rule_catalogue_is_complete():
     assert set(RULES) == {
         "DET001", "DET002", "DET003", "DET004",
         "MOD001", "MOD002", "MOD003",
-        "ENG001", "ENG002", "ENG003", "ENG004", "ENG005",
+        "ENG001", "ENG002", "ENG003", "ENG004", "ENG005", "ENG006",
     }
     for rule in RULES.values():
         assert rule.name and rule.description
@@ -503,6 +503,75 @@ def test_eng005_scoped_to_simulator():
     code = "import numpy as np\nrng = np.random.default_rng((seed, n))"
     assert "ENG005" not in rule_ids(code, path=CORE_PATH)
     assert "ENG005" not in rule_ids(code, path="src/repro/experiments/figures45.py")
+
+
+# -- ENG006: event-heap hot-loop disciplines ----------------------------------------
+
+
+def test_eng006_flags_unguarded_trace_event():
+    code = """\
+    def _run(self, r, clock, end):
+        self.trace.record(TraceEvent(r, clock, end, "compute"))
+    """
+    assert "ENG006" in rule_ids(code, path=SIM_PATH)
+
+
+def test_eng006_flags_trace_event_under_unrelated_guard():
+    code = """\
+    def _run(self, r, clock, end, verbose):
+        if verbose:
+            self.trace.record(TraceEvent(r, clock, end, "compute"))
+    """
+    assert "ENG006" in rule_ids(code, path=SIM_PATH)
+
+
+@pytest.mark.parametrize(
+    "guard",
+    ["self.trace.enabled", "tracing", "tracing and cost > 0.0"],
+)
+def test_eng006_allows_guarded_trace_event(guard):
+    code = f"""\
+    def _run(self, r, clock, end, tracing, cost):
+        if {guard}:
+            self.trace.record(TraceEvent(r, clock, end, "compute", f"x{{cost}}"))
+    """
+    assert "ENG006" not in rule_ids(code, path=SIM_PATH)
+
+
+def test_eng006_flags_heappush_outside_schedule():
+    code = """\
+    from heapq import heappush
+
+    def _run_heap(self, when, rank):
+        heappush(self._event_heap, (when, 0, 0, rank))
+    """
+    assert "ENG006" in rule_ids(code, path=SIM_PATH)
+
+
+def test_eng006_allows_heappush_inside_schedule():
+    code = """\
+    from heapq import heappush
+
+    def _schedule(self, when, priority, rank):
+        self._event_seq = seq = self._event_seq + 1
+        heappush(self._event_heap, (when, priority, seq, rank))
+    """
+    assert "ENG006" not in rule_ids(code, path=SIM_PATH)
+
+
+def test_eng006_scoped_to_engine():
+    # the trace layer itself and non-engine modules are out of scope
+    code = "event = TraceEvent(0, 0.0, 1.0, 'compute')"
+    assert "ENG006" not in rule_ids(code, path="src/repro/simulator/trace.py")
+    assert "ENG006" not in rule_ids(code, path=ANY_PATH)
+
+
+def test_eng006_engine_source_is_clean():
+    with open("src/repro/simulator/engine.py") as fh:
+        source = fh.read()
+    assert "ENG006" not in {
+        f.rule_id for f in analyze_source(source, SIM_PATH)
+    }
 
 
 # -- suppressions and selection -----------------------------------------------------

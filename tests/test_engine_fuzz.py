@@ -5,8 +5,11 @@ corresponding receive) and checks the engine's global invariants:
 no deadlock, clock monotonicity, exact payload delivery, conservation
 of messages/words, and determinism.  The same schedules also drive the
 scheduler-equivalence property: the event-driven ``ready`` scheduler
-must produce bit-identical clocks, stats, and return values to the
-reference ``rescan`` scheduler on every program.
+and the event-heap ``heap`` scheduler must produce bit-identical
+clocks, stats, and return values to the reference ``rescan`` scheduler
+on every program — including the configurations ``ready`` never
+covered (tracing on, link contention, and active ``FaultPlan``s, which
+silently fall back to rescan unless ``heap`` is selected).
 """
 
 import numpy as np
@@ -15,7 +18,8 @@ from hypothesis import strategies as st
 
 from repro.core.machine import MachineParams
 from repro.simulator.engine import Engine
-from repro.simulator.request import Barrier, Compute, Recv, Send
+from repro.simulator.faults import FaultPlan
+from repro.simulator.request import Barrier, Compute, Recv, Send, SendAll
 from repro.simulator.topology import FullyConnected, Hypercube
 
 
@@ -126,11 +130,12 @@ def test_fuzz_determinism(seed, nops):
     routing=st.sampled_from(["sf", "ct"]),
     barriers=st.booleans(),
     topo=st.sampled_from(["full", "hypercube"]),
+    scheduler=st.sampled_from(["ready", "heap"]),
 )
-def test_schedulers_bit_identical(seed, p, nops, ts, routing, barriers, topo):
-    """The ready scheduler is clock-identical to the seed rescan scheduler.
+def test_schedulers_bit_identical(seed, p, nops, ts, routing, barriers, topo, scheduler):
+    """The fast schedulers are clock-identical to the seed rescan scheduler.
 
-    Not approximately equal — bit-identical: both paths must perform the
+    Not approximately equal — bit-identical: all paths must perform the
     same float operations in the same order per rank, so parallel_time,
     every per-rank stats field, and the programs' return values match
     exactly on arbitrary matched schedules with and without barriers.
@@ -141,27 +146,177 @@ def test_schedulers_bit_identical(seed, p, nops, ts, routing, barriers, topo):
     make_topo = (lambda: FullyConnected(p)) if topo == "full" else (
         lambda: Hypercube(int(np.log2(p)))
     )
-    r_ready = Engine(make_topo(), machine, scheduler="ready").run(_factory_for(ops))
+    r_fast = Engine(make_topo(), machine, scheduler=scheduler).run(_factory_for(ops))
     r_rescan = Engine(make_topo(), machine, scheduler="rescan").run(_factory_for(ops))
-    assert r_ready.parallel_time == r_rescan.parallel_time
-    assert r_ready.stats == r_rescan.stats
-    assert r_ready.returns == r_rescan.returns
-    assert r_ready.total_messages == r_rescan.total_messages
-    assert r_ready.total_words == r_rescan.total_words
+    assert r_fast.parallel_time == r_rescan.parallel_time
+    assert r_fast.stats == r_rescan.stats
+    assert r_fast.returns == r_rescan.returns
+    assert r_fast.total_messages == r_rescan.total_messages
+    assert r_fast.total_words == r_rescan.total_words
 
 
 @settings(max_examples=10, deadline=None)
-@given(seed=st.integers(min_value=0, max_value=2**31))
-def test_schedulers_identical_traces(seed):
-    """With tracing on, both schedulers emit the same per-rank event timings."""
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    scheduler=st.sampled_from(["ready", "heap"]),
+)
+def test_schedulers_identical_traces(seed, scheduler):
+    """With tracing on, all schedulers emit the same per-rank events.
+
+    Tracing forces ``ready`` onto the rescan path, but ``heap`` keeps
+    its own loop — so this pins the heap's traced runs (timings, kinds,
+    labels, tags) against the reference event for event.
+    """
     rng = np.random.default_rng(seed)
     ops = _build_schedule(rng, 4, 30, barriers=True)
     machine = MachineParams(ts=3.0, tw=2.0)
-    r1 = Engine(FullyConnected(4), machine, trace=True, scheduler="ready").run(_factory_for(ops))
+    r1 = Engine(FullyConnected(4), machine, trace=True, scheduler=scheduler).run(_factory_for(ops))
     r2 = Engine(FullyConnected(4), machine, trace=True, scheduler="rescan").run(_factory_for(ops))
     for rank in range(4):
         e1, e2 = r1.trace.for_rank(rank), r2.trace.for_rank(rank)
-        assert [(e.start, e.end, e.kind) for e in e1] == [(e.start, e.end, e.kind) for e in e2]
+        assert [(e.start, e.end, e.kind, e.detail, e.tag) for e in e1] == [
+            (e.start, e.end, e.kind, e.detail, e.tag) for e in e2
+        ]
+
+
+def _fault_plan(shape: str, seed: int) -> FaultPlan:
+    """One of the fault-model shapes PR 4 introduced, deterministically keyed."""
+    if shape == "crash":
+        return FaultPlan(
+            seed=seed, horizon=400.0, crash_times=((1, 37.0),),
+            checkpoint_interval=50.0, checkpoint_cost=2.0, recovery_cost=5.0,
+        )
+    if shape == "straggler":
+        return FaultPlan(seed=seed, horizon=400.0, straggler_rate=0.4, straggler_factor=2.5)
+    if shape == "drop":
+        return FaultPlan(seed=seed, horizon=400.0, drop_rate=0.25, timeout=9.0)
+    return FaultPlan(
+        seed=seed, horizon=400.0, degrade_rate=0.3, degrade_factor=1.8,
+        drop_rate=0.15, timeout=6.0, crash_times=((0, 61.0),),
+        checkpoint_interval=40.0, checkpoint_cost=1.0, recovery_cost=3.0,
+    )
+
+
+def _fault_fingerprint(res):
+    return (
+        res.parallel_time, res.stats, res.returns,
+        res.total_messages, res.total_words,
+        res.retransmits, res.faults_injected,
+        res.checkpoint_time, res.recovery_time,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    p=st.sampled_from([2, 4, 8]),
+    nops=st.integers(min_value=5, max_value=50),
+    shape=st.sampled_from(["crash", "straggler", "drop", "combined"]),
+    traced=st.booleans(),
+)
+def test_heap_matches_rescan_under_faults(seed, p, nops, shape, traced):
+    """Fault-active runs: heap is bit-identical to rescan, fault field by field.
+
+    ``ready`` silently falls back to rescan whenever a FaultPlan is set,
+    so these configurations are exactly the ones the heap scheduler
+    newly covers — the recovery timeline (crashes, stragglers,
+    drops/retransmits, checkpoints) must come out identical because the
+    heap's exact regime charges every request through the same reference
+    helpers, just in heap order.
+    """
+    rng = np.random.default_rng(seed)
+    ops = _build_schedule(rng, p, nops, barriers=True)
+    machine = MachineParams(ts=4.0, tw=1.5, th=0.25)
+    plan = _fault_plan(shape, seed % 1000)
+    r_heap = Engine(
+        FullyConnected(p), machine, fault_plan=plan, trace=traced, scheduler="heap"
+    ).run(_factory_for(ops))
+    r_rescan = Engine(
+        FullyConnected(p), machine, fault_plan=plan, trace=traced, scheduler="rescan"
+    ).run(_factory_for(ops))
+    assert _fault_fingerprint(r_heap) == _fault_fingerprint(r_rescan)
+    if traced:
+        for rank in range(p):
+            e1 = r_heap.trace.for_rank(rank)
+            e2 = r_rescan.trace.for_rank(rank)
+            assert [(e.start, e.end, e.kind, e.detail) for e in e1] == [
+                (e.start, e.end, e.kind, e.detail) for e in e2
+            ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    p=st.sampled_from([2, 4, 8]),
+    nops=st.integers(min_value=5, max_value=50),
+)
+def test_heap_matches_rescan_under_contention(seed, p, nops):
+    """Link contention on a fully connected machine: heap == rescan.
+
+    Single-hop routes make contention confluent (each directed link is
+    fed by one sender in program order), so the heap's event order must
+    reserve the same link windows the rescan reference does.
+    """
+    rng = np.random.default_rng(seed)
+    ops = _build_schedule(rng, p, nops)
+    machine = MachineParams(ts=4.0, tw=1.5)
+    r_heap = Engine(
+        FullyConnected(p), machine, link_contention=True, scheduler="heap"
+    ).run(_factory_for(ops))
+    r_rescan = Engine(
+        FullyConnected(p), machine, link_contention=True, scheduler="rescan"
+    ).run(_factory_for(ops))
+    assert r_heap.parallel_time == r_rescan.parallel_time
+    assert r_heap.stats == r_rescan.stats
+    assert r_heap.returns == r_rescan.returns
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    p=st.sampled_from([4, 8, 32]),
+    k=st.integers(min_value=1, max_value=4),
+    all_port=st.booleans(),
+    routing=st.sampled_from(["sf", "ct"]),
+)
+def test_sendall_exchange_bit_identical(seed, p, k, all_port, routing):
+    """Neighbor exchanges through SendAll: heap == ready == rescan.
+
+    ``p = 32`` with ``k = 4`` destinations pushes the heap scheduler's
+    batched SendAll charging onto its vectorized path; the smaller
+    configurations stay on the scalar path — both must match the
+    reference under one-port and all-port models.
+    """
+    rng = np.random.default_rng(seed)
+    k = min(k, p - 1)  # SendAll destinations must be distinct
+    offsets = [int(d) + 1 for d in rng.choice(p - 1, size=k, replace=False)]
+    nwords = [int(w) for w in rng.integers(0, 30, size=k)]
+
+    def prog(info):
+        dsts = [(info.rank + d) % p for d in offsets]
+        yield Compute(float((info.rank * 13) % 7))
+        yield SendAll([
+            Send(dst=dst, data=(info.rank, i), nwords=nwords[i], tag=info.rank * 10 + i)
+            for i, dst in enumerate(dsts)
+        ])
+        got = []
+        for i, d in enumerate(offsets):
+            src = (info.rank - d) % p
+            got.append((yield Recv(src=src, tag=src * 10 + i)))
+        return got
+
+    machine = MachineParams(ts=5.0, tw=1.3, th=0.2, routing=routing, all_port=all_port)
+    results = {
+        s: Engine(FullyConnected(p), machine, scheduler=s).run(
+            [prog for _ in range(p)]
+        )
+        for s in ("heap", "ready", "rescan")
+    }
+    ref = results["rescan"]
+    for s in ("heap", "ready"):
+        assert results[s].parallel_time == ref.parallel_time
+        assert results[s].stats == ref.stats
+        assert results[s].returns == ref.returns
 
 
 @settings(max_examples=15, deadline=None)

@@ -46,11 +46,12 @@ CM5_CONFIGS = [
 def _run(algorithm: str, n: int, p: int, scheduler: str, macro: bool, monkeypatch):
     """One figure point under the given engine scheduler.
 
-    The algorithm drivers deliberately do not expose a scheduler option
-    (the engine's contract is that the choice is unobservable), so the
-    process-wide default is flipped the same way ``benchmarks/perf_guard.py``
-    does.  With *macro*, the group-size cutoff is pinned to 2 so the
-    figures' row/column groups (8–64 ranks) take the macro executors.
+    The process-wide default is flipped the same way
+    ``benchmarks/perf_guard.py`` does (the engine's contract is that the
+    choice is unobservable; the drivers' ``scheduler=`` kwarg covers
+    explicit selection elsewhere).  With *macro*, the group-size cutoff
+    is pinned to 2 so the figures' row/column groups (8–64 ranks) take
+    the macro executors.
     """
     monkeypatch.setattr(engine_mod, "DEFAULT_SCHEDULER", scheduler)
     monkeypatch.setattr(engine_mod, "DEFAULT_MACRO_COLLECTIVES", macro)
@@ -64,10 +65,13 @@ def _run(algorithm: str, n: int, p: int, scheduler: str, macro: bool, monkeypatc
     return run_cannon(A, B, p, machine=CM5, topology=FullyConnected(p))
 
 
+@pytest.mark.parametrize("scheduler", ["ready", "heap"])
 @pytest.mark.parametrize("macro", [False, True], ids=["message-level", "macro"])
 @pytest.mark.parametrize("figure,algorithm,n,p", CM5_CONFIGS)
-def test_ready_and_rescan_identical_on_cm5_configs(figure, algorithm, n, p, macro, monkeypatch):
-    ready = _run(algorithm, n, p, "ready", macro, monkeypatch)
+def test_ready_and_rescan_identical_on_cm5_configs(
+    figure, algorithm, n, p, macro, scheduler, monkeypatch
+):
+    ready = _run(algorithm, n, p, scheduler, macro, monkeypatch)
     # the rescan reference always simulates message level (the engine
     # rejects macro requests there), so with macro=True this pins the
     # fast path against the reference on the real figure workloads
@@ -101,4 +105,4 @@ def test_ready_and_rescan_identical_on_cm5_configs(figure, algorithm, n, p, macr
 def test_scheduler_default_is_ready():
     """The fast path is the default; rescan stays the reference."""
     assert engine_mod.DEFAULT_SCHEDULER == "ready"
-    assert engine_mod.SCHEDULERS == ("ready", "rescan")
+    assert engine_mod.SCHEDULERS == ("ready", "rescan", "heap")
