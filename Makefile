@@ -6,13 +6,19 @@ install:
 test:
 	pytest tests/ -q
 
-# Domain static analysis (repro.analysis) + strict typing for the core
-# and analysis layers.  mypy is optional locally (the analysis pass is
-# pure stdlib); CI installs it and runs the full gate.
+# Whole-program static analysis (repro.analysis) + strict typing for the
+# core, analysis, and annotated simulator layers.  Error-tier findings
+# not in analysis_baseline.json fail the build; the JSON and SARIF
+# reports are uploaded as CI artifacts.  mypy is optional locally (the
+# analysis pass is pure stdlib); CI installs it and runs the full gate.
 lint:
-	PYTHONPATH=src python -m repro.analysis --output analysis_report.json src/repro
+	PYTHONPATH=src python -m repro.analysis \
+		--baseline analysis_baseline.json \
+		--output analysis_report.json \
+		--sarif-output analysis.sarif \
+		src/repro
 	@if python -c "import mypy" >/dev/null 2>&1; then \
-		python -m mypy src/repro/core src/repro/analysis; \
+		python -m mypy src/repro/core src/repro/analysis src/repro/simulator/engine.py src/repro/simulator/faults.py src/repro/simulator/macro.py src/repro/simulator/topology.py; \
 	else \
 		echo "mypy not installed; skipping type check (pip install mypy, or rely on CI)"; \
 	fi

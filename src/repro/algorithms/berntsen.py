@@ -33,6 +33,7 @@ from repro.blockops.partition import BlockSpec, block_slices
 from repro.core.machine import MachineParams, NCUBE2_LIKE
 from repro.simulator.collectives import reduce_scatter_halving, shift_cyclic
 from repro.simulator.engine import Engine, RankInfo
+from repro.simulator.faults import FaultPlan
 from repro.simulator.request import Compute
 from repro.simulator.topology import Hypercube, Topology, gray_code
 
@@ -88,6 +89,7 @@ def run_berntsen(
     enforce_concurrency_limit: bool = True,
     trace: bool = False,
     scheduler: str | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """Multiply *A* and *B* on ``p = 2**(3q)`` simulated processors (Berntsen).
 
@@ -149,7 +151,9 @@ def run_berntsen(
                     reduce_group,
                 )
 
-    sim = Engine(topo, machine, trace=trace, scheduler=scheduler).run(factories)
+    sim = Engine(
+        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan
+    ).run(factories)
 
     # Reassemble: for each grid position the summed C block lives striped
     # (by flattened-word interval) across the nsub corresponding ranks.

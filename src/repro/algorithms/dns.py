@@ -228,6 +228,7 @@ def run_dns_one_per_element(
     *,
     trace: bool = False,
     scheduler: str | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """Multiply with the original DNS formulation: ``p = n^3``, one element per PE.
 
@@ -236,7 +237,10 @@ def run_dns_one_per_element(
     """
     n = check_same_shape(A, B)
     topo = topology or default_topology(n**3)
-    return _run_cube(A, B, n, machine, topo, "dns", trace=trace, scheduler=scheduler)
+    return _run_cube(
+        A, B, n, machine, topo, "dns",
+        trace=trace, scheduler=scheduler, fault_plan=fault_plan,
+    )
 
 
 def _dns_block_rank_of(r: int, s: int) -> Callable[[int, int, int, int, int], int]:
@@ -339,6 +343,7 @@ def run_dns_block(
     *,
     trace: bool = False,
     scheduler: str | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """Multiply with the §4.5.2 DNS variant on ``p = n^2 * r`` processors.
 
@@ -383,7 +388,9 @@ def run_dns_block(
                             i, j, k, li, lj, r, s, rank_of, a0, b0, route_mode
                         )
 
-    sim = Engine(topo, machine, trace=trace, scheduler=scheduler).run(factories)
+    sim = Engine(
+        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan
+    ).run(factories)
 
     C = np.zeros((n, n), dtype=np.result_type(A, B))
     for ret in sim.returns:

@@ -31,6 +31,7 @@ from repro.blockops.partition import BlockSpec, int_sqrt
 from repro.core.machine import MachineParams, NCUBE2_LIKE
 from repro.simulator.collectives import bcast_binomial, my_index, shift_cyclic, words_of
 from repro.simulator.engine import Engine, RankInfo
+from repro.simulator.faults import FaultPlan
 from repro.simulator.request import Compute, Recv, Send
 from repro.simulator.topology import Topology
 
@@ -109,6 +110,7 @@ def run_fox(
     broadcast: str = "ring",
     trace: bool = False,
     scheduler: str | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """Multiply *A* and *B* on *p* simulated processors with Fox's algorithm.
 
@@ -137,7 +139,9 @@ def run_fox(
                 i, j, a_blocks[i][j], b_blocks[i][j], row_group, col_group, broadcast
             )
 
-    sim = Engine(topo, machine, trace=trace, scheduler=scheduler).run(factories)
+    sim = Engine(
+        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan
+    ).run(factories)
 
     C = np.zeros((n, n), dtype=np.result_type(A, B))
     for (i, j), c_block in sim.returns:

@@ -31,6 +31,7 @@ from repro.simulator.collectives import (
     allgather_ring,
 )
 from repro.simulator.engine import Engine, RankInfo
+from repro.simulator.faults import FaultPlan
 from repro.simulator.request import Compute
 from repro.simulator.topology import Mesh2D, Topology
 
@@ -72,6 +73,7 @@ def run_simple(
     *,
     trace: bool = False,
     scheduler: str | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> MatmulResult:
     """Multiply *A* and *B* on *p* simulated processors with the simple algorithm.
 
@@ -101,7 +103,9 @@ def run_simple(
                 i, j, a_blocks[i][j], b_blocks[i][j], row_group, col_group, use_ring
             )
 
-    sim = Engine(topo, machine, trace=trace, scheduler=scheduler).run(factories)
+    sim = Engine(
+        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan
+    ).run(factories)
 
     C = np.zeros((n, n), dtype=np.result_type(A, B))
     for (i, j), c_block, _peak in sim.returns:

@@ -1,21 +1,28 @@
-"""Domain static analysis for the repro codebase itself.
+"""Whole-program static analysis for the repro codebase itself.
 
-An AST-based lint that machine-checks the invariants the reproduction
-relies on: determinism of the simulator and sweep pipeline (DET0xx),
-scalar/grid and unit consistency of the analytic models (MOD0xx), and
-hygiene of the engine hot path (ENG0xx).  Run it as::
+An AST-based engine that machine-checks the invariants the reproduction
+relies on: determinism of the simulator and sweep pipeline (DET0xx,
+including the flow-sensitive DET010+ taint rules), scalar/grid and
+symbolic-unit consistency of the analytic models (MOD0xx, DIM0xx),
+hygiene of the engine hot path (ENG0xx), and the cross-layer
+architecture contracts of the cache/sweep/driver stack (CACHE0xx,
+SWEEP0xx, DRIVER0xx).  Run it as::
 
-    python -m repro.analysis src/repro            # text report, exit 1 on findings
-    python -m repro.analysis --format json src/repro
+    python -m repro.analysis src/repro            # text report, exit 1 on errors
+    python -m repro.analysis --format sarif src/repro
+    python -m repro.analysis --baseline analysis_baseline.json src/repro
+    python -m repro.analysis --explain DET010
     python -m repro.analysis --list-rules
 
 or from Python via :func:`analyze_paths` / :func:`analyze_source`.
-See ``docs/static_analysis.md`` for the rule catalogue and the
-``# repro: ignore[RULE]`` suppression syntax.
+See ``docs/static_analysis.md`` for the program model, the rule
+catalogue, the ``# repro: ignore[RULE]`` suppression syntax, and the
+baseline workflow.
 """
 
 from repro.analysis.core import (
     RULES,
+    SEVERITIES,
     AnalysisReport,
     Finding,
     ModuleSource,
@@ -23,18 +30,34 @@ from repro.analysis.core import (
     analyze_paths,
     analyze_source,
     iter_python_files,
+    load_baseline,
     register,
+    write_baseline,
 )
-from repro.analysis import rules_determinism, rules_engine, rules_models  # noqa: F401  (registers rules)
+from repro.analysis.program import Program
+from repro.analysis.sarif import to_sarif
+from repro.analysis import (  # noqa: F401  (registers rules)
+    rules_contracts,
+    rules_dataflow,
+    rules_determinism,
+    rules_dimensions,
+    rules_engine,
+    rules_models,
+)
 
 __all__ = [
     "AnalysisReport",
     "Finding",
     "ModuleSource",
+    "Program",
     "Rule",
     "RULES",
+    "SEVERITIES",
     "analyze_paths",
     "analyze_source",
     "iter_python_files",
+    "load_baseline",
     "register",
+    "to_sarif",
+    "write_baseline",
 ]

@@ -1,0 +1,74 @@
+"""Call-graph builder over the whole-program model.
+
+Edges connect fully-qualified function qualnames: the caller is every
+function (or method, or nested closure) in the program; the callee is
+whatever :meth:`~repro.analysis.program.Program.resolve_call` can name —
+an in-program function, an imported origin (``numpy.random.default_rng``)
+or a bare builtin (``id``).  Unresolvable targets (lambdas, computed
+attributes) are simply absent, which is the right default for the
+determinism rules: they propagate *known* nondeterminism, they do not
+speculate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.program import FunctionInfo, Program
+
+__all__ = ["CallGraph", "build_call_graph"]
+
+
+class CallGraph:
+    """Directed call edges between dotted qualnames."""
+
+    def __init__(self) -> None:
+        self.edges: dict[str, set[str]] = {}
+        self._reverse: dict[str, set[str]] = {}
+
+    def add(self, caller: str, callee: str) -> None:
+        self.edges.setdefault(caller, set()).add(callee)
+        self._reverse.setdefault(callee, set()).add(caller)
+
+    def callees(self, caller: str) -> set[str]:
+        return self.edges.get(caller, set())
+
+    def callers(self, callee: str) -> set[str]:
+        return self._reverse.get(callee, set())
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self.edges.values())
+
+    def reachable_from(self, start: str) -> set[str]:
+        """Every qualname transitively callable from *start* (excl. start)."""
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            for nxt in self.edges.get(stack.pop(), ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+
+def _own_calls(fn: FunctionInfo) -> Iterator[ast.Call]:
+    """Call nodes lexically inside *fn* but not inside a nested function."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn.node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested function is its own caller
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def build_call_graph(program: Program) -> CallGraph:
+    graph = CallGraph()
+    for fn in program.iter_functions():
+        for call in _own_calls(fn):
+            callee = program.resolve_call(fn.module, call.func, cls=fn.cls)
+            if callee is not None:
+                graph.add(fn.qualname, callee)
+    return graph

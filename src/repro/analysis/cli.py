@@ -1,8 +1,9 @@
-"""``python -m repro.analysis`` — run the domain lint over a source tree.
+"""``python -m repro.analysis`` — run the whole-program lint over a tree.
 
-Exit status: 0 when no unsuppressed finding (and no parse error), 1
-otherwise, 2 for usage errors — so ``make lint`` and CI gate on it
-directly.
+Exit status: 0 when no unsuppressed, un-baselined *error*-tier finding
+(and no parse error), 1 otherwise, 2 for usage errors — so ``make lint``
+and CI gate on it directly.  ``warn``/``info`` findings are reported but
+advisory.
 """
 
 from __future__ import annotations
@@ -10,9 +11,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from collections import Counter
 from typing import Sequence
 
-from repro.analysis.core import RULES, AnalysisReport, _load_rule_modules, analyze_paths
+from repro.analysis.core import (
+    RULES,
+    AnalysisReport,
+    _load_rule_modules,
+    analyze_paths,
+    load_baseline,
+    write_baseline,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -27,8 +36,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format on stdout (default: text)",
     )
     parser.add_argument(
         "--select", metavar="IDS",
@@ -43,6 +52,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to FILE (for CI artifacts)",
     )
     parser.add_argument(
+        "--sarif-output", metavar="FILE",
+        help="also write a SARIF 2.1.0 report to FILE (for code-scanning upload)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="accepted-findings file; matching findings do not fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite --baseline FILE accepting every current finding, then exit 0",
+    )
+    parser.add_argument(
+        "--explain", metavar="RULEID",
+        help="print one rule's rationale, example, fix, and suppression syntax",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
@@ -52,8 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
 def _format_text(report: AnalysisReport) -> str:
     lines = [f.format() for f in report.findings]
     lines += [f"parse error: {err}" for err in report.parse_errors]
+    by_severity = Counter(f.severity for f in report.findings)
+    counts = ", ".join(
+        f"{by_severity[sev]} {sev}" for sev in ("error", "warn", "info") if by_severity[sev]
+    )
     tail = (
-        f"{len(report.findings)} finding(s), {len(report.suppressed)} suppressed, "
+        f"{len(report.findings)} finding(s){f' ({counts})' if counts else ''}, "
+        f"{len(report.baselined)} baselined, {len(report.suppressed)} suppressed, "
         f"{report.files_checked} file(s) checked"
     )
     lines.append(f"OK — {tail}" if report.ok else tail)
@@ -65,7 +95,39 @@ def _list_rules() -> str:
     lines = []
     for rule in RULES.values():
         scope = f" [{', '.join(rule.path_filter)}]" if rule.path_filter else ""
-        lines.append(f"{rule.rule_id}  {rule.name:<20} {rule.description}{scope}")
+        lines.append(
+            f"{rule.rule_id}  {rule.name:<24} {rule.severity:<5} {rule.description}{scope}"
+        )
+    return "\n".join(lines)
+
+
+def _explain(rule_id: str) -> str | None:
+    _load_rule_modules()
+    rule = RULES.get(rule_id)
+    if rule is None:
+        return None
+    doc = (type(rule).__doc__ or "").strip()
+    lines = [
+        f"{rule.rule_id} [{rule.name}] — severity: {rule.severity}",
+        "",
+        rule.description,
+    ]
+    if doc:
+        lines += ["", doc]
+    if rule.example:
+        lines += ["", "Example that triggers it:", "", *(
+            "    " + ln for ln in rule.example.rstrip("\n").splitlines()
+        )]
+    if rule.fix:
+        lines += ["", f"Fix: {rule.fix}"]
+    lines += [
+        "",
+        "Suppress a single occurrence with a trailing comment:",
+        "",
+        f"    offending_line()  # repro: ignore[{rule.rule_id}] -- justification",
+        "",
+        "or accept it into the baseline with --write-baseline.",
+    ]
     return "\n".join(lines)
 
 
@@ -77,22 +139,57 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_list_rules())
         return 0
 
+    if args.explain:
+        text = _explain(args.explain)
+        if text is None:
+            print(f"error: unknown rule id {args.explain!r}", file=sys.stderr)
+            return 2
+        print(text)
+        return 0
+
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
+    baseline: set[str] | None = None
     try:
-        report = analyze_paths(args.paths, select=select, ignore=ignore)
+        if args.baseline and not args.write_baseline:
+            try:
+                baseline = load_baseline(args.baseline)
+            except FileNotFoundError:
+                baseline = None  # no baseline yet: every finding is fresh
+        report = analyze_paths(args.paths, select=select, ignore=ignore, baseline=baseline)
     except (ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.write_baseline:
+        write_baseline(report, args.baseline)
+        total = len(report.findings) + len(report.baselined)
+        print(f"wrote {total} accepted finding(s) to {args.baseline}")
+        return 0
 
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(report.to_dict(), fh, indent=2)
             fh.write("\n")
 
+    if args.sarif_output or args.format == "sarif":
+        from repro.analysis.sarif import to_sarif
+
+        doc = to_sarif(report, baseline_used=baseline is not None)
+        if args.sarif_output:
+            with open(args.sarif_output, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
+        if args.format == "sarif":
+            print(json.dumps(doc, indent=2))
+
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
-    else:
+    elif args.format == "text":
         print(_format_text(report))
     return 0 if report.ok else 1
 

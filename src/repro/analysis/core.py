@@ -1,4 +1,4 @@
-"""Rule framework for the repo's domain static analysis.
+"""Rule framework for the repo's whole-program static analysis.
 
 The analysis pass (:mod:`repro.analysis`) lints this repository's *own*
 source for invariants the test-suite relies on but cannot enforce
@@ -11,11 +11,17 @@ Concepts
 
 * :class:`ModuleSource` — one parsed file: path, text, AST, and the
   per-line suppression table.
-* :class:`Finding` — one violation: rule id, location, message.
+* :class:`Finding` — one violation: rule id, severity, location, message.
 * :class:`Rule` — a check.  Subclass it, set ``rule_id``/``name``/
-  ``description``, implement :meth:`Rule.check`, and decorate with
+  ``description``, implement :meth:`Rule.check` (per-module) and/or
+  :meth:`Rule.check_program` (whole-program), and decorate with
   :func:`register`.  ``path_filter`` (a substring tuple) scopes a rule
-  to parts of the tree.
+  to parts of the tree; ``severity`` is one of ``error``/``warn``/
+  ``info`` (only ``error`` findings gate the exit status); ``fix`` is
+  the per-rule fix-suggestion text surfaced by ``--explain``.
+* :class:`repro.analysis.program.Program` — the whole-program model
+  (symbol tables, import maps, call graph) built once per run and
+  handed to every :meth:`Rule.check_program`.
 * :func:`analyze_paths` / :func:`analyze_source` — entry points used by
   the CLI and the tests.
 
@@ -29,32 +35,52 @@ A finding is suppressed by a trailing comment on the flagged line::
 ``# repro: ignore`` with no bracket suppresses every rule on that line.
 Suppressed findings are dropped from the report (and from the exit
 status) but counted, so the CLI can surface how many were waived.
+
+Baseline
+--------
+
+Known findings can be accepted into a baseline file (``--write-baseline``)
+keyed by ``(path, rule, message)`` — deliberately not by line number, so
+unrelated edits do not churn the baseline.  Findings matching a baseline
+entry are reported separately (``baselined``) and do not affect the exit
+status; new findings still fail the run.
 """
 
 from __future__ import annotations
 
 import ast
+import json
 import re
 import tokenize
-from abc import ABC, abstractmethod
+from abc import ABC
 from dataclasses import dataclass, field
 from io import StringIO
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.program import Program
 
 __all__ = [
     "Finding",
     "ModuleSource",
     "Rule",
     "RULES",
+    "SEVERITIES",
     "register",
     "iter_python_files",
     "analyze_source",
     "analyze_paths",
     "AnalysisReport",
+    "load_baseline",
+    "write_baseline",
 ]
 
 _SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+#: Recognized severity tiers, most severe first.  Only ``error`` findings
+#: fail the run; ``warn``/``info`` are advisory.
+SEVERITIES = ("error", "warn", "info")
 
 
 @dataclass(frozen=True)
@@ -67,9 +93,19 @@ class Finding:
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} [{self.name}] {self.message}"
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+            f"[{self.name}] {self.severity}: {self.message}"
+        )
+
+    @property
+    def baseline_key(self) -> str:
+        """Stable identity for baseline matching (line numbers excluded)."""
+        path = self.path.replace("\\", "/")
+        return f"{path}::{self.rule_id}::{self.message}"
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -78,6 +114,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "severity": self.severity,
             "message": self.message,
         }
 
@@ -132,11 +169,26 @@ def _scan_suppressions(text: str) -> dict[int, frozenset[str]]:
 
 
 class Rule(ABC):
-    """One invariant check over a parsed module."""
+    """One invariant check, per-module and/or whole-program.
+
+    Per-module rules implement :meth:`check`; rules that need to see the
+    whole program (call graph, cross-module symbol resolution) implement
+    :meth:`check_program` instead (or in addition).  Both default to
+    yielding nothing, so a subclass picks whichever scope it needs.
+    """
 
     rule_id: str = ""
     name: str = ""
     description: str = ""
+
+    #: severity tier: "error" gates the exit status, "warn"/"info" do not
+    severity: str = "error"
+
+    #: fix-suggestion text printed by ``--explain`` and carried in SARIF
+    fix: str = ""
+
+    #: a short illustrative snippet that triggers the rule (for --explain)
+    example: str = ""
 
     #: substrings (posix separators); the rule runs only on paths
     #: containing at least one of them.  Empty tuple = every file.
@@ -148,11 +200,22 @@ class Rule(ABC):
         p = module.posix_path
         return any(part in p for part in self.path_filter)
 
-    @abstractmethod
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         """Yield findings for *module* (already scoped by ``applies_to``)."""
+        return iter(())
 
-    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        """Yield findings that need whole-program context."""
+        return iter(())
+
+    def finding(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        message: str,
+        *,
+        severity: str | None = None,
+    ) -> Finding:
         return Finding(
             rule_id=self.rule_id,
             name=self.name,
@@ -160,6 +223,7 @@ class Rule(ABC):
             line=getattr(node, "lineno", 0),
             col=getattr(node, "col_offset", 0),
             message=message,
+            severity=severity or self.severity,
         )
 
 
@@ -173,6 +237,8 @@ def register(cls: type[Rule]) -> type[Rule]:
         raise ValueError(f"{cls.__name__} must set rule_id")
     if cls.rule_id in RULES:
         raise ValueError(f"duplicate rule id {cls.rule_id}")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"{cls.__name__}: unknown severity {cls.severity!r}")
     RULES[cls.rule_id] = cls()
     return cls
 
@@ -199,7 +265,14 @@ def _selected_rules(
 
 def _load_rule_modules() -> None:
     """Import the rule catalogue (idempotent; registration is import-time)."""
-    from repro.analysis import rules_determinism, rules_engine, rules_models  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        rules_contracts,
+        rules_dataflow,
+        rules_determinism,
+        rules_dimensions,
+        rules_engine,
+        rules_models,
+    )
 
 
 @dataclass
@@ -208,12 +281,18 @@ class AnalysisReport:
 
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: list[str] = field(default_factory=list)
 
     @property
+    def errors(self) -> list[Finding]:
+        """The error-tier findings (the only ones that gate the exit status)."""
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
     def ok(self) -> bool:
-        return not self.findings and not self.parse_errors
+        return not self.errors and not self.parse_errors
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -221,12 +300,35 @@ class AnalysisReport:
             "files_checked": self.files_checked,
             "findings": [f.to_dict() for f in self.findings],
             "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
             "parse_errors": list(self.parse_errors),
         }
 
 
+def load_baseline(path: str | Path) -> set[str]:
+    """The accepted-finding keys recorded in a baseline file."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path} is not an analysis baseline file")
+    return set(data["entries"])
+
+
+def write_baseline(report: AnalysisReport, path: str | Path) -> None:
+    """Accept every finding in *report* (active and baselined) into *path*."""
+    keys = sorted({f.baseline_key for f in report.findings + report.baselined})
+    payload = {
+        "note": "accepted repro.analysis findings; regenerate with --write-baseline",
+        "version": 1,
+        "entries": keys,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
 def analyze_module(module: ModuleSource, rules: Iterable[Rule]) -> tuple[list[Finding], list[Finding]]:
-    """Run *rules* over one module; return (active, suppressed) findings."""
+    """Run per-module *rules* over one module; return (active, suppressed)."""
     active: list[Finding] = []
     waived: list[Finding] = []
     for rule in rules:
@@ -240,6 +342,26 @@ def analyze_module(module: ModuleSource, rules: Iterable[Rule]) -> tuple[list[Fi
     return active, waived
 
 
+def _run_program_rules(
+    program: "Program", rules: Iterable[Rule]
+) -> tuple[list[Finding], list[Finding]]:
+    """Run every whole-program rule over *program*; honor suppressions."""
+    active: list[Finding] = []
+    waived: list[Finding] = []
+    for rule in rules:
+        for f in rule.check_program(program):
+            module = program.by_path.get(f.path.replace("\\", "/"))
+            if module is not None and module.is_suppressed(f.rule_id, f.line):
+                waived.append(f)
+            else:
+                active.append(f)
+    return active, waived
+
+
+def _sort(findings: list[Finding]) -> None:
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+
+
 def analyze_source(
     text: str,
     path: str = "<string>",
@@ -247,9 +369,19 @@ def analyze_source(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
 ) -> list[Finding]:
-    """Analyze one source string; used heavily by the rule unit tests."""
+    """Analyze one source string; used heavily by the rule unit tests.
+
+    Whole-program rules run too, over a single-module program — fixture
+    snippets exercise them the same way real files do.
+    """
+    from repro.analysis.program import Program
+
     module = ModuleSource(path, text)
-    active, _ = analyze_module(module, _selected_rules(select, ignore))
+    rules = _selected_rules(select, ignore)
+    active, _ = analyze_module(module, rules)
+    prog_active, _ = _run_program_rules(Program([module]), rules)
+    active.extend(prog_active)
+    _sort(active)
     return active
 
 
@@ -270,10 +402,21 @@ def analyze_paths(
     *,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    baseline: set[str] | None = None,
 ) -> AnalysisReport:
-    """Analyze every ``.py`` file under *paths* and aggregate a report."""
+    """Analyze every ``.py`` file under *paths* and aggregate a report.
+
+    The per-module rules run file by file; the whole-program rules run
+    once over the :class:`~repro.analysis.program.Program` built from
+    every successfully parsed file.  Findings whose
+    :attr:`Finding.baseline_key` appears in *baseline* are moved to
+    ``report.baselined`` and do not affect ``report.ok``.
+    """
+    from repro.analysis.program import Program
+
     rules = _selected_rules(select, ignore)
     report = AnalysisReport()
+    modules: list[ModuleSource] = []
     for file in iter_python_files(paths):
         try:
             module = ModuleSource(file, file.read_text(encoding="utf-8"))
@@ -281,9 +424,20 @@ def analyze_paths(
             report.parse_errors.append(f"{file}: {exc.msg} (line {exc.lineno})")
             continue
         report.files_checked += 1
+        modules.append(module)
         active, waived = analyze_module(module, rules)
         report.findings.extend(active)
         report.suppressed.extend(waived)
-    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-    report.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+
+    prog_active, prog_waived = _run_program_rules(Program(modules), rules)
+    report.findings.extend(prog_active)
+    report.suppressed.extend(prog_waived)
+
+    if baseline:
+        fresh = [f for f in report.findings if f.baseline_key not in baseline]
+        report.baselined = [f for f in report.findings if f.baseline_key in baseline]
+        report.findings = fresh
+    _sort(report.findings)
+    _sort(report.suppressed)
+    _sort(report.baselined)
     return report

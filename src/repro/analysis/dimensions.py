@@ -1,0 +1,308 @@
+"""Symbolic dimension inference for cost-model expressions.
+
+Every value in an ``overhead_terms`` dict is a *time*: a startup term
+(``ts · count``), a transfer term (``tw · words``), or a combination.
+This pass assigns each expression a degree vector over the base units
+
+    ``(time, words, flops)``
+
+by abstract interpretation of the AST:
+
+* ``machine.ts`` / ``machine.th`` / ``machine.unit_time`` → ``(1, 0, 0)``
+* ``machine.tw``  (time *per word*)                       → ``(1, -1, 0)``
+* ``machine.tc``  (time *per flop*, future models)        → ``(1, 0, -1)``
+* ``words_of(...)`` and ``*words``-named values           → ``(0, 1, 0)``
+* counts (``n``, ``p``, ``log2(p)``, literals)            → ``(0, 0, 0)``
+
+Multiplication adds degree vectors, division subtracts, ``x ** k`` (and
+``sqrt``) scales by the constant exponent, and addition requires
+compatible operands.  A valid overhead term must normalize to pure time:
+time degree exactly 1 with no *unconsumed* positive word/flop degree
+(negative degrees are fine — ``tw · n²`` leaves ``words^-1`` because the
+word count is written as the dimensionless ``n²``, which is the paper's
+own convention).
+
+This is what lets a *new* model's ``ts * words`` mixing or dropped
+``tw`` factor be flagged with no per-model check: ``ts * nwords`` has
+word degree +1 (a word count with no ``tw`` to consume it) and a bare
+``n²/√p`` term has time degree 0 (a count pretending to be a time).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = ["Dim", "DimIssue", "check_cost_function", "format_dim", "ZERO", "TIME"]
+
+#: degree vector over (time, words, flops)
+Dim = tuple[float, float, float]
+
+ZERO: tuple[float, float, float] = (0.0, 0.0, 0.0)
+TIME: tuple[float, float, float] = (1.0, 0.0, 0.0)
+WORDS: tuple[float, float, float] = (0.0, 1.0, 0.0)
+
+#: units of MachineParams attributes
+MACHINE_ATTR_DIMS: dict[str, tuple[float, float, float]] = {
+    "ts": TIME,
+    "th": TIME,
+    "unit_time": TIME,
+    "tw": (1.0, -1.0, 0.0),
+    "tc": (1.0, 0.0, -1.0),
+    "ts_over_tw": WORDS,  # ts/tw is a word count (the packetization threshold)
+}
+
+#: identifier suffixes that denote word counts
+_WORD_SUFFIXES = ("words", "nwords", "n_words")
+
+#: call tails returning times (cost-model helpers and MachineParams methods)
+_TIME_CALL_SUFFIXES = ("time", "_time")
+
+
+@dataclass(frozen=True)
+class DimIssue:
+    """One dimensional inconsistency in a cost expression."""
+
+    node: ast.AST
+    kind: str  # "term" (bad term dimension) | "mixing" (incompatible addition)
+    message: str
+
+
+def format_dim(dim: tuple[float, float, float]) -> str:
+    parts = []
+    for unit, deg in zip(("time", "words", "flops"), dim):
+        if deg:
+            d = int(deg) if float(deg).is_integer() else deg
+            parts.append(f"{unit}^{d}")
+    return "·".join(parts) or "dimensionless"
+
+
+def _const_value(node: ast.expr) -> float | None:
+    """Numeric value of a constant expression (handles ``1/3``, ``-2``)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        v = _const_value(node.operand)
+        if v is None:
+            return None
+        return -v if isinstance(node.op, ast.USub) else v
+    if isinstance(node, ast.BinOp):
+        left, right = _const_value(node.left), _const_value(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Div):
+            return left / right if right else None
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Pow):
+            return left**right
+    return None
+
+
+class _DimEvaluator:
+    """Evaluates degree vectors over one cost function's body."""
+
+    def __init__(self, machine_names: set[str]):
+        self.machine_names = machine_names
+        self.env: dict[str, tuple[float, float, float]] = {}
+        self.issues: list[DimIssue] = []
+
+    # -- helpers -------------------------------------------------------
+
+    @staticmethod
+    def _scale(dim: tuple[float, float, float], k: float) -> tuple[float, float, float]:
+        return (dim[0] * k, dim[1] * k, dim[2] * k)
+
+    @staticmethod
+    def _add(a: tuple[float, float, float], b: tuple[float, float, float]) -> tuple[float, float, float]:
+        return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+    @staticmethod
+    def _sub(a: tuple[float, float, float], b: tuple[float, float, float]) -> tuple[float, float, float]:
+        return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+    def _combine(
+        self, a: tuple[float, float, float], b: tuple[float, float, float], node: ast.AST
+    ) -> tuple[float, float, float]:
+        """Join two dims across ``+``/``-``/``max``; flag incompatibility.
+
+        Operands must agree on the time degree; word/flop degrees may
+        differ only when none is positive (``ts + tw`` is a per-message
+        time where the word factor is an implicit 1 — the paper's own
+        Eq. 6 idiom).  ``ts + n`` (time plus count) or ``ts + ts*words``
+        is a real mixing bug.
+        """
+        if a == b:
+            return a
+        compatible = (
+            a[0] == b[0]
+            and a[1] <= 0 and b[1] <= 0
+            and a[2] <= 0 and b[2] <= 0
+        )
+        if not compatible:
+            self.issues.append(
+                DimIssue(
+                    node,
+                    "mixing",
+                    f"incompatible dimensions in addition/comparison: "
+                    f"{format_dim(a)} vs {format_dim(b)}",
+                )
+            )
+            return a
+        return (a[0], max(a[1], b[1]), max(a[2], b[2]))
+
+    # -- evaluation ----------------------------------------------------
+
+    def eval(self, node: ast.expr) -> tuple[float, float, float]:
+        if isinstance(node, ast.Constant):
+            return ZERO
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            if node.id.endswith(_WORD_SUFFIXES):
+                return WORDS
+            return ZERO
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id in self.machine_names:
+                return MACHINE_ATTR_DIMS.get(node.attr, ZERO)
+            if node.attr.endswith(_WORD_SUFFIXES):
+                return WORDS
+            return ZERO
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.IfExp):
+            return self._combine(self.eval(node.body), self.eval(node.orelse), node)
+        return ZERO
+
+    def _eval_binop(self, node: ast.BinOp) -> tuple[float, float, float]:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if isinstance(node.op, ast.Mult):
+            return self._add(left, right)
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            return self._sub(left, right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            return self._combine(left, right, node)
+        if isinstance(node.op, ast.Pow):
+            if left == ZERO:
+                return ZERO
+            k = _const_value(node.right)
+            if k is None:
+                return ZERO  # dimensional base, unknown exponent: give up quietly
+            return self._scale(left, k)
+        if isinstance(node.op, ast.Mod):
+            return left
+        return ZERO
+
+    def _eval_call(self, node: ast.Call) -> tuple[float, float, float]:
+        tail = ""
+        if isinstance(node.func, ast.Attribute):
+            tail = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            tail = node.func.id
+        arg_dims = [self.eval(a) for a in node.args]
+        if tail == "words_of":
+            return WORDS
+        if tail == "sqrt":
+            return self._scale(arg_dims[0], 0.5) if arg_dims else ZERO
+        if tail in ("max", "min"):
+            out = arg_dims[0] if arg_dims else ZERO
+            for d in arg_dims[1:]:
+                out = self._combine(out, d, node)
+            return out
+        if tail in ("abs", "float", "int", "round", "ceil", "floor"):
+            return arg_dims[0] if arg_dims else ZERO
+        if tail == "pow" and len(arg_dims) >= 2:
+            k = _const_value(node.args[1])
+            if k is not None and arg_dims[0] != ZERO:
+                return self._scale(arg_dims[0], k)
+            return ZERO
+        if tail.endswith(_TIME_CALL_SUFFIXES):
+            return TIME  # comm_time(...), transfer_time(...), etc.
+        return ZERO  # log2, log, validation helpers, unknown calls
+
+    # -- statements ----------------------------------------------------
+
+    def run(self, fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> list[tuple[ast.expr, str]]:
+        """Interpret *fn*'s body; return the ``(term expr, tag)`` list."""
+        terms: list[tuple[ast.expr, str]] = []
+        dict_nodes: dict[str, ast.Dict] = {}
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if isinstance(stmt.value, ast.Dict):
+                        dict_nodes[target.id] = stmt.value
+                    else:
+                        self.env[target.id] = self.eval(stmt.value)
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, ast.Return) or stmt.value is None:
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Name) and value.id in dict_nodes:
+                value = dict_nodes[value.id]
+            if isinstance(value, ast.Dict):
+                for key, term in zip(value.keys, value.values):
+                    tag = (
+                        key.value
+                        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                        else "?"
+                    )
+                    terms.append((term, tag))
+        return terms
+
+
+def _machine_arg_names(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> set[str]:
+    names: set[str] = set()
+    for arg in [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]:
+        ann = arg.annotation
+        annotated = (
+            (isinstance(ann, ast.Name) and ann.id == "MachineParams")
+            or (isinstance(ann, ast.Attribute) and ann.attr == "MachineParams")
+        )
+        if annotated or "machine" in arg.arg:
+            names.add(arg.arg)
+    return names
+
+
+def check_cost_function(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> list[DimIssue]:
+    """Dimension-check one ``overhead_terms``-style function.
+
+    Returns one issue per returned term whose degree vector is not a
+    pure time (``kind="term"``), plus one per incompatible addition
+    found while evaluating (``kind="mixing"``).
+    """
+    evaluator = _DimEvaluator(_machine_arg_names(fn))
+    terms = evaluator.run(fn)
+    term_dims = [(term, tag, evaluator.eval(term)) for term, tag in terms]
+    issues = list(evaluator.issues)  # mixing issues, incl. those found above
+    for term, tag, dim in term_dims:
+        if dim[0] != 1.0 or dim[1] > 0 or dim[2] > 0:
+            if dim[0] != 1.0:
+                why = (
+                    "has no time unit (a count pretending to be a time — "
+                    "missing ts/tw/tc factor?)"
+                    if dim[0] == 0
+                    else "has a squared/fractional time unit (ts*tw without a sqrt?)"
+                )
+            else:
+                why = (
+                    "carries an unconsumed word/flop count "
+                    "(ts*words mixing — the words need a tw factor)"
+                )
+            issues.append(
+                DimIssue(
+                    term,
+                    "term",
+                    f"overhead term {tag!r} is {format_dim(dim)}, not a time: {why}",
+                )
+            )
+    return issues

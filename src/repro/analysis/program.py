@@ -1,0 +1,214 @@
+"""Whole-program model: every module's symbol table, resolved together.
+
+:class:`Program` is built once per analysis run from the parsed
+:class:`~repro.analysis.core.ModuleSource` list and handed to every
+rule's ``check_program``.  It answers the questions per-file rules
+cannot: *which function does this call resolve to*, *what fields does
+``MachineParams`` declare*, *where is ``Engine._schedule`` defined* —
+so contract rules reason about the architecture instead of one file's
+syntax.
+
+The model is deliberately name-based, not type-based: functions are
+indexed by dotted qualname (``repro.simulator.engine.Engine._schedule``)
+and calls are resolved through each module's import map plus
+module-local and class-local symbol tables.  That resolves everything
+the rules need in this codebase (plain functions, methods called via
+``self``, ``from``-imported helpers) without a type checker.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.astutil import ImportMap, dotted_name
+from repro.analysis.core import ModuleSource
+
+__all__ = ["FunctionInfo", "ModuleInfo", "Program", "module_name_for"]
+
+#: Fallback machine fingerprint when ``MachineParams`` itself is not part
+#: of the analyzed tree (e.g. single-file fixtures in tests).
+DEFAULT_MACHINE_FIELDS = ("ts", "tw", "th", "routing", "all_port", "unit_time", "name")
+
+
+def module_name_for(path: str | Path) -> str:
+    """Dotted module name for *path*, by walking up the package tree.
+
+    ``src/repro/simulator/engine.py`` -> ``repro.simulator.engine``
+    (every ancestor with an ``__init__.py`` contributes a package part).
+    Paths outside any package — fixture files, ``<string>`` — fall back
+    to the file stem.
+    """
+    p = Path(path)
+    if p.suffix != ".py" or not p.exists():
+        stem = p.stem if p.suffix == ".py" else p.name
+        return stem or "module"
+    parts = [] if p.stem == "__init__" else [p.stem]
+    d = p.parent
+    while (d / "__init__.py").exists():
+        parts.append(d.name)
+        parent = d.parent
+        if parent == d:  # filesystem root
+            break
+        d = parent
+    return ".".join(reversed(parts)) or p.stem or "module"
+
+
+class FunctionInfo:
+    """One function or method: its qualname, AST node, and owning class."""
+
+    __slots__ = ("qualname", "node", "cls", "module")
+
+    def __init__(
+        self,
+        qualname: str,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: ast.ClassDef | None,
+        module: "ModuleInfo",
+    ):
+        self.qualname = qualname  # dotted, includes the module name
+        self.node = node
+        self.cls = cls  # enclosing class, if a method
+        self.module = module
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FunctionInfo({self.qualname})"
+
+
+class ModuleInfo:
+    """Symbol table of one module: functions, classes, imports, globals."""
+
+    def __init__(self, source: ModuleSource, name: str):
+        self.source = source
+        self.name = name
+        self.imports = ImportMap(source.tree)
+        #: local qualname ("foo", "Cls.meth", "outer.body") -> FunctionInfo
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ast.ClassDef] = {}
+        #: names assigned at module level -> their value nodes (last wins)
+        self.globals: dict[str, ast.expr] = {}
+        self._index()
+
+    def _index(self) -> None:
+        for stmt in self.source.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for t in stmt.targets:
+                    if isinstance(t, ast.Name):
+                        self.globals[t.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    self.globals[stmt.target.id] = stmt.value
+        self._walk(self.source.tree.body, prefix="", cls=None)
+
+    def _walk(
+        self, body: Iterable[ast.stmt], prefix: str, cls: ast.ClassDef | None
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local = f"{prefix}{stmt.name}"
+                self.functions[local] = FunctionInfo(
+                    f"{self.name}.{local}", stmt, cls, self
+                )
+                self._walk(stmt.body, prefix=f"{local}.", cls=cls)
+            elif isinstance(stmt, ast.ClassDef):
+                self.classes[f"{prefix}{stmt.name}"] = stmt
+                self._walk(stmt.body, prefix=f"{prefix}{stmt.name}.", cls=stmt)
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With)):
+                # conditionally-defined symbols still belong to the module
+                for sub in ast.iter_child_nodes(stmt):
+                    if isinstance(sub, ast.stmt):
+                        self._walk([sub], prefix=prefix, cls=cls)
+
+
+class Program:
+    """The analyzed tree as one object: modules, symbols, resolution."""
+
+    def __init__(self, modules: Iterable[ModuleSource]):
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_path: dict[str, ModuleSource] = {}
+        for src in modules:
+            name = module_name_for(src.path)
+            if name in self.modules:  # fixture trees can collide on stems
+                name = src.posix_path
+            info = ModuleInfo(src, name)
+            self.modules[name] = info
+            self.by_path[src.posix_path] = src
+
+    # ------------------------------------------------------------------
+    # lookup
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        for mod in self.modules.values():
+            yield from mod.functions.values()
+
+    def lookup_function(self, qualname: str) -> FunctionInfo | None:
+        """The FunctionInfo for a dotted qualname, if it is in the program."""
+        mod_name, _, local = qualname.rpartition(".")
+        while mod_name:
+            mod = self.modules.get(mod_name)
+            if mod is not None and local in mod.functions:
+                return mod.functions[local]
+            head, _, tail = mod_name.rpartition(".")
+            mod_name, local = head, f"{tail}.{local}"
+        return None
+
+    def resolve_call(
+        self,
+        module: ModuleInfo,
+        func: ast.expr,
+        *,
+        cls: ast.ClassDef | None = None,
+    ) -> str | None:
+        """Fully-qualified name a call target resolves to, best effort.
+
+        Resolution order: the module's import map (``from x import y``,
+        ``import x as z``), ``self.method`` within *cls*, module-local
+        functions, then the raw dotted name (callers can still match
+        builtins like ``id`` or ``sorted`` on it).
+        """
+        resolved = module.imports.resolve(func)
+        if resolved is not None:
+            return resolved
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        if cls is not None and dotted.startswith("self."):
+            meth = dotted[len("self."):]
+            if f"{cls.name}.{meth}" in module.functions:
+                return f"{module.name}.{cls.name}.{meth}"
+        head = dotted.split(".", 1)[0]
+        if dotted in module.functions or head in module.functions:
+            return f"{module.name}.{dotted}"
+        if head in module.classes:
+            return f"{module.name}.{dotted}"
+        return dotted
+
+    # ------------------------------------------------------------------
+    # domain symbols
+
+    def find_class(self, name: str) -> tuple[ModuleInfo, ast.ClassDef] | None:
+        """The first class named *name* anywhere in the program."""
+        for mod in self.modules.values():
+            cls = mod.classes.get(name)
+            if cls is not None:
+                return mod, cls
+        return None
+
+    def machine_param_fields(self) -> tuple[str, ...]:
+        """Field names of the ``MachineParams`` dataclass.
+
+        Discovered from the program when ``core/machine.py`` is in the
+        analyzed tree; otherwise the known fingerprint is assumed so
+        partial trees (tests, single files) still get contract checks.
+        """
+        found = self.find_class("MachineParams")
+        if found is None:
+            return DEFAULT_MACHINE_FIELDS
+        _, cls = found
+        fields = tuple(
+            stmt.target.id
+            for stmt in cls.body
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+        )
+        return fields or DEFAULT_MACHINE_FIELDS

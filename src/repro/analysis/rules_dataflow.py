@@ -1,0 +1,192 @@
+"""Flow-sensitive determinism rules (DET010+) over the taint pass.
+
+These are the whole-program successors of the heuristic DET001–004
+rules: instead of flagging every set iteration or wall-clock call, they
+flag only the ones whose value actually *flows into* a
+determinism-critical sink — simulator state, trace events, request
+fields, the event heap, or cache keys — with far fewer false positives,
+plus call-graph propagation for taint that crosses function boundaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleSource, Rule, register
+from repro.analysis.dataflow import (
+    SINK_DESCRIPTIONS,
+    Taint,
+    TaintAnalyzer,
+    module_summaries,
+)
+from repro.analysis.program import FunctionInfo, Program
+
+__all__ = [
+    "NondeterminismFlowRule",
+    "TaintedCalleeRule",
+    "UnorderedFloatAccumulationRule",
+]
+
+
+@register
+class NondeterminismFlowRule(Rule):
+    """DET010: nondeterministic values must not reach simulator/trace/cache sinks.
+
+    The simulator's claim is bit-identical replay: same inputs, same
+    schedule, same trace, same cache key.  A wall-clock read, an
+    unseeded RNG draw, an ``id()``, or a value whose content depends on
+    set/filesystem iteration order breaks that claim the moment it
+    reaches simulator state, a ``TraceEvent``, a request field, the
+    event heap, or cache-key derivation.  This rule tracks those sources
+    flow-sensitively through one function at a time and flags only
+    actual source-to-sink flows — a set iterated for membership tests or
+    a ``sorted()``-sanitized order never fires.
+    """
+
+    rule_id = "DET010"
+    name = "nondet-flow"
+    description = (
+        "nondeterministic value (clock/RNG/id/set-order) flows into "
+        "simulator state, a trace event, a request field, the event heap, "
+        "or a cache key"
+    )
+    severity = "error"
+    fix = (
+        "Derive the value deterministically: key RNG draws through "
+        "faults._stream, order collections with sorted(...) before use, "
+        "and pass logical (simulated) time instead of wall-clock reads."
+    )
+    example = (
+        "def charge(self, ranks):\n"
+        "    for r in ranks:           # ranks is a set\n"
+        "        self.clock[r] += 1.0  # simulator state now depends on set order\n"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for summary in module_summaries(module):
+            for event in summary.events:
+                if event.sink == "float-accum" or event.taint.kind == "callee":
+                    continue
+                sink = SINK_DESCRIPTIONS.get(event.sink, event.sink)
+                yield self.finding(
+                    module,
+                    event.node,
+                    f"nondeterministic value from {event.taint.detail} flows "
+                    f"into {sink} in {summary.qualname}()",
+                )
+
+
+@register
+class TaintedCalleeRule(Rule):
+    """DET011: calls to nondeterminism-returning functions, call-graph propagated.
+
+    A function that returns a wall-clock read or an unordered-iteration
+    result makes every caller nondeterministic too, even though the
+    caller's own body looks clean.  This rule runs the taint pass to a
+    fixpoint over the whole program: any function whose return value is
+    tainted marks its call sites, and a tainted call result reaching a
+    determinism sink is flagged *at the call site* — the place the
+    cross-module contract is actually broken.
+    """
+
+    rule_id = "DET011"
+    name = "tainted-callee"
+    description = (
+        "result of a function that returns nondeterministic values flows "
+        "into a determinism-critical sink (whole-program propagation)"
+    )
+    severity = "warn"
+    fix = (
+        "Make the callee deterministic at its source (seeded stream, "
+        "sorted order) rather than laundering its result through layers "
+        "of callers; the finding names the originating source."
+    )
+    example = (
+        "def fresh_tag():\n"
+        "    return time.monotonic_ns()   # tainted return\n"
+        "def post(info):\n"
+        "    yield Send(dst=1, data=x, nwords=1, tag=fresh_tag())  # flagged here\n"
+    )
+
+    _MAX_ROUNDS = 6
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        summaries: dict[str, Taint] = {}
+        for _ in range(self._MAX_ROUNDS):
+            changed = False
+            for fn in program.iter_functions():
+                analyzer = self._analyzer(program, fn, summaries)
+                result = analyzer.analyze(fn.node, qualname=fn.qualname)
+                if result.returns is not None and fn.qualname not in summaries:
+                    summaries[fn.qualname] = result.returns
+                    changed = True
+            if not changed:
+                break
+        if not summaries:
+            return
+        for fn in program.iter_functions():
+            analyzer = self._analyzer(program, fn, summaries)
+            result = analyzer.analyze(fn.node, qualname=fn.qualname)
+            for event in result.events:
+                if event.taint.kind != "callee" or event.sink == "float-accum":
+                    continue
+                sink = SINK_DESCRIPTIONS.get(event.sink, event.sink)
+                yield self.finding(
+                    fn.module.source,
+                    event.node,
+                    f"call result of {event.taint.detail} flows into {sink} "
+                    f"in {fn.qualname}()",
+                )
+
+    @staticmethod
+    def _analyzer(
+        program: Program, fn: FunctionInfo, summaries: dict[str, Taint]
+    ) -> TaintAnalyzer:
+        module = fn.module
+        cls = fn.cls
+
+        def resolve(expr: ast.expr) -> str | None:
+            return program.resolve_call(module, expr, cls=cls)
+
+        return TaintAnalyzer(
+            resolve,
+            in_simulator="repro/simulator/" in module.source.posix_path,
+            callee_taints=summaries,
+        )
+
+
+@register
+class UnorderedFloatAccumulationRule(Rule):
+    """DET012: no float accumulation over unordered collections.
+
+    Float addition is not associative, so ``sum(s)`` over a set — or a
+    ``+=`` loop drawing from one — yields different rounding depending
+    on iteration order, even though every element is visited.  Clock
+    arithmetic built this way diverges between runs (and between
+    CPython builds with different hash seeding) by ULPs, which is
+    exactly the kind of drift the three-scheduler bit-identity contract
+    cannot absorb.
+    """
+
+    rule_id = "DET012"
+    name = "unordered-float-accum"
+    description = "float accumulation (sum/+=) over an unordered set"
+    severity = "warn"
+    fix = (
+        "Accumulate in a deterministic order: sum(sorted(s)) or iterate "
+        "a sorted/list-typed copy of the collection."
+    )
+    example = "total = sum({1.0, 0.1, 0.2})  # rounding depends on set order\n"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for summary in module_summaries(module):
+            for event in summary.events:
+                if event.sink != "float-accum":
+                    continue
+                yield self.finding(
+                    module,
+                    event.node,
+                    f"{event.taint.detail} in {summary.qualname}(): float "
+                    "addition is order-dependent; sort before accumulating",
+                )

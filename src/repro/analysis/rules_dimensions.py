@@ -1,0 +1,98 @@
+"""Dimensional-consistency rules (DIM0xx) for the analytic cost models.
+
+MOD002 checks *which* machine parameters an overhead term mentions; the
+DIM rules check the term's *algebra* via the symbolic unit inference in
+:mod:`repro.analysis.dimensions` — so a new model (a 2.5D or Strassen
+family with its own W(p) exponent) is covered the day it is written,
+with no per-model vocabulary entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleSource, Rule, register
+from repro.analysis.dimensions import check_cost_function
+
+__all__ = ["TermDimensionRule", "DimensionMixingRule"]
+
+#: functions whose returned dicts are overhead-term catalogues
+_COST_FUNCTIONS = ("overhead_terms",)
+
+
+def _cost_functions(module: ModuleSource) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in _COST_FUNCTIONS
+        ):
+            yield node
+
+
+@register
+class TermDimensionRule(Rule):
+    """DIM001: every overhead term must be dimensionally a time.
+
+    The isoefficiency analysis sums ``overhead_terms`` values and equates
+    them with ``W = n³`` basic-operation times; a term that is secretly a
+    word count (dropped ``tw``), a squared time (``ts*tw`` without the
+    packetization square root), or a ``ts * words`` product would make
+    every figure derived from the model silently wrong — and such terms
+    evaluate to perfectly plausible floats, so no runtime test notices.
+    The symbolic pass assigns each term a degree vector over
+    ``(time, words, flops)`` and requires exactly ``time^1`` with no
+    unconsumed positive word/flop degree.
+    """
+
+    rule_id = "DIM001"
+    name = "term-dimension"
+    description = "overhead_terms values must reduce to the time unit"
+    severity = "error"
+    fix = (
+        "Balance the term's units: pair word counts with machine.tw, "
+        "flop counts with the unit compute time, and split ts*tw "
+        "products under a square root (packetized transfer terms)."
+    )
+    example = (
+        "def overhead_terms(self, n, p, machine):\n"
+        "    return {'tw': 2 * n**2 / p**0.5}   # dropped machine.tw factor\n"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for fn in _cost_functions(module):
+            for issue in check_cost_function(fn):
+                if issue.kind == "term":
+                    yield self.finding(module, issue.node, issue.message)
+
+
+@register
+class DimensionMixingRule(Rule):
+    """DIM002: no addition of incompatible units inside cost expressions.
+
+    ``machine.ts + n`` (a time plus a count) or ``ts + ts*nwords`` adds
+    quantities with different units; the result has no consistent
+    interpretation no matter what it is later multiplied by.  Additions
+    of per-message times (``ts + tw``, Eq. 6's idiom) are allowed: both
+    operands are times once the implicit one-word message is accounted.
+    """
+
+    rule_id = "DIM002"
+    name = "dimension-mixing"
+    description = "additions inside cost expressions must agree on units"
+    severity = "error"
+    fix = (
+        "Multiply each operand into the same unit before adding "
+        "(e.g. machine.tw * words, not words alone), or split the "
+        "expression into separate, correctly-dimensioned terms."
+    )
+    example = (
+        "def overhead_terms(self, n, p, machine):\n"
+        "    return {'ts': (machine.ts + n) * p}   # time + count\n"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for fn in _cost_functions(module):
+            for issue in check_cost_function(fn):
+                if issue.kind == "mixing":
+                    yield self.finding(module, issue.node, issue.message)

@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 output for the analysis engine.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard CI systems ingest for code-scanning annotations.  This module
+maps an :class:`~repro.analysis.core.AnalysisReport` onto the minimal
+valid document: one run, one tool driver carrying the full rule
+catalogue (id, short/full description, default severity, help text),
+and one result per finding with a physical location.  Baselined
+findings are emitted with ``baselineState: "unchanged"`` so viewers can
+fold them away; fresh findings carry ``baselineState: "new"`` when a
+baseline was in play.
+
+Severity mapping: ``error`` → ``error``, ``warn`` → ``warning``,
+``info`` → ``note`` (SARIF ``level`` vocabulary).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.core import RULES, AnalysisReport, Finding, Rule, _load_rule_modules
+
+__all__ = ["to_sarif", "SARIF_VERSION", "SARIF_SCHEMA"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warn": "warning", "info": "note"}
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, Any]:
+    doc = (type(rule).__doc__ or "").strip()
+    descriptor: dict[str, Any] = {
+        "id": rule.rule_id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+    if doc:
+        descriptor["fullDescription"] = {"text": doc}
+    if rule.fix:
+        descriptor["help"] = {"text": rule.fix}
+    return descriptor
+
+
+def _result(
+    finding: Finding, rule_index: dict[str, int], *, baseline_used: bool
+) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    if baseline_used:
+        result["baselineState"] = "new"
+    return result
+
+
+def to_sarif(report: AnalysisReport, *, baseline_used: bool = False) -> dict[str, Any]:
+    """Render *report* as a SARIF 2.1.0 document (a JSON-ready dict)."""
+    _load_rule_modules()
+    rules = [_rule_descriptor(rule) for rule in RULES.values()]
+    rule_index = {descriptor["id"]: i for i, descriptor in enumerate(rules)}
+
+    results = [
+        _result(f, rule_index, baseline_used=baseline_used) for f in report.findings
+    ]
+    for finding in report.baselined:
+        entry = _result(finding, rule_index, baseline_used=baseline_used)
+        entry["baselineState"] = "unchanged"
+        results.append(entry)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "semanticVersion": "1.0.0",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": not report.parse_errors,
+                        "exitCode": 0 if report.ok else 1,
+                    }
+                ],
+            }
+        ],
+    }

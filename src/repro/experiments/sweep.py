@@ -45,6 +45,7 @@ A multi-hour sweep must survive its own infrastructure:
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
 import os
@@ -118,10 +119,12 @@ def _simulate_block(
 
 
 def _checkpoint_header(machine: MachineParams, seed: int, verify: bool) -> dict:
+    # The whole dataclass, not a hand-picked subset: machines differing in
+    # th/routing/all_port/unit_time must not share a checkpoint (CACHE001).
     return {
         "kind": "sweep-checkpoint",
-        "version": 1,
-        "machine": {"name": machine.name, "ts": machine.ts, "tw": machine.tw},
+        "version": 2,
+        "machine": dataclasses.asdict(machine),
         "seed": seed,
         "verify": bool(verify),
     }

@@ -253,7 +253,7 @@ class _RankState:
 
     __slots__ = ("gen", "rank", "_arr", "stats", "blocked_on", "done", "retval", "barrier_epoch", "send_value")
 
-    def __init__(self, gen: Program, rank: int, arr: RankArrays):
+    def __init__(self, gen: Program, rank: int, arr: RankArrays) -> None:
         self.gen = gen
         self.rank = rank
         self._arr = arr
@@ -287,7 +287,7 @@ class Engine:
         scheduler: str | None = None,
         macro_collectives: bool | None = None,
         fault_plan: FaultPlan | None = None,
-    ):
+    ) -> None:
         self.topology = topology
         self.machine = machine
         self.trace = Trace(enabled=trace, max_events=max_trace_events)
@@ -319,7 +319,7 @@ class Engine:
         # mailbox key -> rank parked on that channel (heap scheduler)
         self._waiting: dict[tuple[int, int, int], int] = {}
         # mailboxes[(src, dst, tag)] -> FIFO of (arrival_time, payload, nwords)
-        self._mail: dict[tuple[int, int, int], deque] = {}
+        self._mail: dict[tuple[int, int, int], deque[tuple[float, Any, int]]] = {}
         # (src, dst) -> hop count, filled lazily (repeated pairs dominate)
         self._dist: dict[tuple[int, int], int] = {}
         # (kind, tag, len(group)) -> pending entries [posts, count, pos, group];
@@ -469,6 +469,7 @@ class Engine:
         record = self.trace.record
 
         arr = self._arr
+        assert arr is not None  # set by run() before any scheduler body
         clk_arr = arr.clock
         comp_arr = arr.compute_time
         sendt_arr = arr.send_time
@@ -673,6 +674,7 @@ class Engine:
         record = self.trace.record
 
         arr = self._arr
+        assert arr is not None  # set by run() before any scheduler body
         clk_arr = arr.clock
         comp_arr = arr.compute_time
         sendt_arr = arr.send_time
@@ -1031,6 +1033,7 @@ class Engine:
         record = self.trace.record
         schedule = self._schedule
         arr = self._arr
+        assert arr is not None  # set by run() before any scheduler body
         clk_arr = arr.clock
 
         nb = len(sendall_items)
@@ -1093,6 +1096,7 @@ class Engine:
         whenever routes do not conflict (single-hop traffic; see the
         module docstring).
         """
+        assert self._arr is not None  # set by run() before any scheduler body
         clk_arr = self._arr.clock
         heap = self._event_heap
         schedule = self._schedule
@@ -1223,6 +1227,7 @@ class Engine:
             self._try_release_barrier(states)
             return
         arr = self._arr
+        assert arr is not None  # set by run() before any scheduler body
         alive = np.fromiter((not s.done for s in states), dtype=bool, count=len(states))
         if not alive.any():
             return

@@ -277,7 +277,7 @@ class CompiledFaults:
         "_overflow",
     )
 
-    def __init__(self, plan: FaultPlan, nprocs: int):
+    def __init__(self, plan: FaultPlan, nprocs: int) -> None:
         self.plan = plan
         self.nprocs = nprocs
         self.retransmits = 0

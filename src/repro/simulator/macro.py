@@ -61,7 +61,9 @@ class _Charger:
         "clock", "compute", "send_t", "recv_w", "msgs", "words",
     )
 
-    def __init__(self, arr: RankArrays, topology: Topology, machine: MachineParams, order: np.ndarray):
+    def __init__(
+        self, arr: RankArrays, topology: Topology, machine: MachineParams, order: np.ndarray
+    ) -> None:
         self.machine = machine
         self.topology = topology
         self.order = order  # gathered position -> absolute rank
@@ -131,7 +133,7 @@ def _rounds(g: int) -> int:
     return max(1, math.ceil(math.log2(g))) if g > 1 else 0
 
 
-def _bcast(posts, ch, garr):
+def _bcast(posts: list[CollectiveOp], ch: _Charger, garr: np.ndarray) -> list[Any]:
     """Binomial-tree broadcast; gathered arrays are in *relative* order."""
     g = len(posts)
     root = _require_agreement(posts, "root_index", g)
@@ -156,7 +158,7 @@ def _bcast(posts, ch, garr):
     return [data] * g
 
 
-def _reduce(posts, ch, garr):
+def _reduce(posts: list[CollectiveOp], ch: _Charger, garr: np.ndarray) -> list[Any]:
     """Binomial-tree reduction; gathered arrays are in *relative* order."""
     g = len(posts)
     root = _require_agreement(posts, "root_index", g)
@@ -186,7 +188,7 @@ def _reduce(posts, ch, garr):
     return out
 
 
-def _allgather_rd(posts, ch, garr):
+def _allgather_rd(posts: list[CollectiveOp], ch: _Charger, garr: np.ndarray) -> list[Any]:
     """Recursive-doubling all-gather (power-of-two group, index order)."""
     g = len(posts)
     m = np.fromiter((_declared_words(q) for q in posts), dtype=np.int64, count=g)
@@ -205,7 +207,7 @@ def _allgather_rd(posts, ch, garr):
     return [list(contributions) for _ in range(g)]
 
 
-def _allgather_ring(posts, ch, garr):
+def _allgather_ring(posts: list[CollectiveOp], ch: _Charger, garr: np.ndarray) -> list[Any]:
     """Ring all-gather: g-1 steps, each rank always sends at its own size."""
     g = len(posts)
     m = np.fromiter((_declared_words(q) for q in posts), dtype=np.int64, count=g)
@@ -219,7 +221,7 @@ def _allgather_ring(posts, ch, garr):
     return [list(contributions) for _ in range(g)]
 
 
-def _reduce_scatter(posts, ch, garr):
+def _reduce_scatter(posts: list[CollectiveOp], ch: _Charger, garr: np.ndarray) -> list[Any]:
     """Recursive-halving reduce-scatter (power-of-two group, index order).
 
     ``post.data`` is already this rank's private flattened working copy
@@ -265,7 +267,7 @@ def _reduce_scatter(posts, ch, garr):
     ]
 
 
-def _shift(posts, ch, garr):
+def _shift(posts: list[CollectiveOp], ch: _Charger, garr: np.ndarray) -> list[Any]:
     """Cyclic shift by a common offset (the helper strips offset % g == 0)."""
     g = len(posts)
     offset = _require_agreement(posts, "offset", g)
@@ -278,7 +280,7 @@ def _shift(posts, ch, garr):
     return [posts[src[i]].data for i in range(g)]
 
 
-_EXECUTORS: dict[str, Callable] = {
+_EXECUTORS: dict[str, Callable[[list[CollectiveOp], _Charger, np.ndarray], list[Any]]] = {
     "bcast": _bcast,
     "reduce": _reduce,
     "allgather_rd": _allgather_rd,

@@ -123,7 +123,7 @@ class Topology(ABC):
 class Hypercube(Topology):
     """A *d*-dimensional binary hypercube of ``2**d`` nodes."""
 
-    def __init__(self, dim: int):
+    def __init__(self, dim: int) -> None:
         if dim < 0:
             raise ValueError("dimension must be non-negative")
         self.dim = dim
@@ -151,7 +151,7 @@ class Hypercube(Topology):
 class Mesh2D(Topology):
     """A ``rows x cols`` two-dimensional mesh, optionally with wraparound links."""
 
-    def __init__(self, rows: int, cols: int, wraparound: bool = True):
+    def __init__(self, rows: int, cols: int, wraparound: bool = True) -> None:
         if rows <= 0 or cols <= 0:
             raise ValueError("mesh dimensions must be positive")
         self.rows = rows
@@ -206,7 +206,7 @@ class Mesh2D(Topology):
 class FullyConnected(Topology):
     """Every pair of distinct nodes is one hop apart (CM-5 fat-tree model)."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
         self.size = size
@@ -242,7 +242,7 @@ class PairHopCache:
 
     __slots__ = ("_topology", "_vectorized", "_pairs")
 
-    def __init__(self, topology: "Topology"):
+    def __init__(self, topology: "Topology") -> None:
         self._topology = topology
         self._vectorized = type(topology).distances is not Topology.distances
         self._pairs: dict[tuple[int, int], int] = {}

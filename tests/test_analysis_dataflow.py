@@ -1,0 +1,241 @@
+"""Flow-sensitive determinism rules: DET010 (nondet flow), DET011
+(call-graph propagated taint), DET012 (unordered float accumulation).
+
+Every fixture comes in a tainted and a sanitized flavor: the rules must
+fire on actual source-to-sink flows and stay silent the moment the value
+is ordered, seeded, or never reaches a sink.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_source
+
+SIM = "src/repro/simulator/probe.py"
+
+
+def ids(src: str, path: str = SIM, **kw) -> list[str]:
+    return sorted({f.rule_id for f in analyze_source(textwrap.dedent(src), path, **kw)})
+
+
+# -- DET010: direct source-to-sink flows --------------------------------------------
+
+
+def test_wall_clock_into_simulator_state_fires():
+    assert "DET010" in ids(
+        """
+        import time
+        class Engine:
+            def tick(self):
+                self.now = time.time()
+        """,
+        select=["DET010"],
+    )
+
+
+def test_wall_clock_outside_simulator_state_is_clean():
+    # same assignment, but not simulator state (module not under simulator/)
+    assert ids(
+        """
+        import time
+        class Reporter:
+            def tick(self):
+                self.now = time.time()
+        """,
+        path="src/repro/reports/probe.py",
+        select=["DET010"],
+    ) == []
+
+
+def test_set_iteration_order_into_request_field_fires():
+    assert "DET010" in ids(
+        """
+        def prog(info):
+            peers = {1, 2, 3}
+            for r in peers:
+                yield Send(dst=r, data=None, nwords=1, tag=0)
+        """,
+        select=["DET010"],
+    )
+
+
+def test_sorted_sanitizes_set_iteration():
+    assert ids(
+        """
+        def prog(info):
+            peers = {1, 2, 3}
+            for r in sorted(peers):
+                yield Send(dst=r, data=None, nwords=1, tag=0)
+        """,
+        select=["DET010"],
+    ) == []
+
+
+def test_set_membership_test_never_fires():
+    # iterating for a membership check is fine; no sink involved
+    assert ids(
+        """
+        def prog(info, peers):
+            ok = 3 in {1, 2, 3}
+            yield Send(dst=1, data=ok, nwords=1, tag=0)
+        """,
+        select=["DET010"],
+    ) == []
+
+
+def test_unseeded_rng_into_trace_event_fires():
+    assert "DET010" in ids(
+        """
+        import random
+        def emit(trace):
+            trace.append(TraceEvent(kind="x", rank=0, t0=random.random(), t1=0.0))
+        """,
+        select=["DET010"],
+    )
+
+
+def test_id_into_cache_key_fires():
+    assert "DET010" in ids(
+        """
+        def shard(obj):
+            return key_for(id(obj))
+        """,
+        select=["DET010"],
+    )
+
+
+def test_listdir_order_into_cache_key_fires_and_sorted_is_clean():
+    tainted = """
+        import os
+        def shard(d):
+            names = os.listdir(d)
+            return key_for(names)
+        """
+    clean = """
+        import os
+        def shard(d):
+            names = sorted(os.listdir(d))
+            return key_for(names)
+        """
+    assert "DET010" in ids(tainted, select=["DET010"])
+    assert ids(clean, select=["DET010"]) == []
+
+
+def test_suppression_comment_waives_det010():
+    src = """
+        import time
+        class Engine:
+            def tick(self):
+                self.now = time.time()  # repro: ignore[DET010] -- fixture
+        """
+    assert ids(src, select=["DET010"]) == []
+
+
+# -- DET011: interprocedural propagation --------------------------------------------
+
+
+def test_tainted_callee_return_reaching_sink_fires_at_call_site():
+    findings = analyze_source(
+        textwrap.dedent(
+            """
+            import time
+            def fresh_tag():
+                return time.monotonic()
+            def prog(info):
+                yield Send(dst=1, data=None, nwords=1, tag=fresh_tag())
+            """
+        ),
+        SIM,
+        select=["DET011"],
+    )
+    assert [f.rule_id for f in findings] == ["DET011"]
+    assert "fresh_tag" in findings[0].message
+    assert findings[0].severity == "warn"
+
+
+def test_clean_callee_does_not_propagate():
+    assert ids(
+        """
+        def fresh_tag():
+            return 7
+        def prog(info):
+            yield Send(dst=1, data=None, nwords=1, tag=fresh_tag())
+        """,
+        select=["DET011"],
+    ) == []
+
+
+def test_tainted_callee_without_sink_is_silent():
+    assert ids(
+        """
+        import time
+        def fresh_tag():
+            return time.monotonic()
+        def report():
+            return {"t": fresh_tag()}
+        """,
+        select=["DET011"],
+    ) == []
+
+
+# -- DET012: unordered float accumulation -------------------------------------------
+
+
+def test_sum_over_set_fires():
+    assert "DET012" in ids(
+        """
+        def total():
+            xs = {1.0, 2.5, 3.25}
+            return sum(xs)
+        """,
+        select=["DET012"],
+    )
+
+
+def test_augmented_accumulation_over_set_loop_fires():
+    assert "DET012" in ids(
+        """
+        def total():
+            xs = {1.0, 2.5, 3.25}
+            acc = 0.0
+            for x in xs:
+                acc += x
+            return acc
+        """,
+        select=["DET012"],
+    )
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        "return sum(sorted(xs))",
+        "return sum([1.0, 2.5])",
+        "return len(xs)",
+    ],
+)
+def test_ordered_or_countless_accumulation_is_clean(body):
+    assert ids(
+        f"""
+        def total():
+            xs = {{1.0, 2.5, 3.25}}
+            {body}
+        """,
+        select=["DET012"],
+    ) == []
+
+
+# -- the real tree ------------------------------------------------------------------
+
+
+def test_dataflow_rules_clean_on_real_simulator():
+    from pathlib import Path
+
+    from repro.analysis import analyze_paths
+
+    src = Path(__file__).resolve().parent.parent / "src" / "repro" / "simulator"
+    report = analyze_paths([src], select=["DET010", "DET011", "DET012"])
+    assert report.findings == [], "\n".join(f.format() for f in report.findings)

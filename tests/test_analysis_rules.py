@@ -32,11 +32,15 @@ def rule_ids(code: str, path: str = ANY_PATH, **kw) -> set[str]:
 def test_rule_catalogue_is_complete():
     assert set(RULES) == {
         "DET001", "DET002", "DET003", "DET004",
+        "DET010", "DET011", "DET012",
         "MOD001", "MOD002", "MOD003",
-        "ENG001", "ENG002", "ENG003", "ENG004", "ENG005", "ENG006",
+        "DIM001", "DIM002",
+        "ENG001", "ENG002", "ENG003", "ENG004", "ENG005", "ENG006", "ENG007",
+        "CACHE001", "SWEEP001", "DRIVER001",
     }
     for rule in RULES.values():
         assert rule.name and rule.description
+        assert rule.severity in ("error", "warn", "info")
 
 
 # -- DET001: unseeded / global RNG -------------------------------------------------
