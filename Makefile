@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke experiments examples lint resilience-smoke scale-16k-smoke clean
+.PHONY: install test bench bench-smoke bench-compare experiments examples lint resilience-smoke scale-16k-smoke scale-64k-smoke clean
 
 install:
 	pip install -e ".[test]"
@@ -29,6 +29,21 @@ bench:
 bench-smoke:
 	python benchmarks/perf_guard.py --fast
 
+# Diff the working-copy perf-guard report against the committed version
+# of the baseline and fail on >10% regressions in any gated speedup
+# common to both files.  By default both point at BENCH_PR8.json: the
+# committed report is the baseline, the file on disk (freshly written
+# by perf_guard.py) is the candidate.  Cross-PR baselines (BASE=
+# BENCH_PR5.json) are possible but expected to "regress" wherever a
+# later PR sped up a shared reference implementation — the per-PR gate
+# recalibrations in perf_guard.py record those shifts.
+BASE ?= BENCH_PR8.json
+NEW ?= BENCH_PR8.json
+bench-compare:
+	@git show HEAD:$(BASE) > .bench_base.json 2>/dev/null || cp $(BASE) .bench_base.json
+	python benchmarks/bench_compare.py .bench_base.json $(NEW)
+	@rm -f .bench_base.json
+
 experiments:
 	python -m repro.experiments all --fast
 
@@ -43,6 +58,14 @@ resilience-smoke:
 # scale is covered by the verified 4096-rank point in `experiments`.
 scale-16k-smoke:
 	python -m repro.experiments scaling-large --p-values 16384 --n0 2 --no-verify --no-disk-cache
+
+# A complete 65536-rank Cannon simulation.  With --no-verify the
+# experiment defaults to the compiled (record->replay) scheduler, whose
+# vectorized batch replay finishes the 64k point in seconds; timing is
+# fuzz-gated bit-identical to the heap scheduler at p <= 4096 by the
+# test suite and perf guard.
+scale-64k-smoke:
+	python -m repro.experiments scaling-large --p-values 65536 --n0 2 --no-verify --no-disk-cache
 
 examples:
 	python examples/quickstart.py

@@ -1,0 +1,113 @@
+"""Compare two perf-guard reports and fail on speedup regressions.
+
+``make bench-compare BASE=BENCH_PR5.json`` (or running this module
+directly) diffs a baseline ``BENCH_*.json`` against the current one.
+Every numeric leaf whose key contains ``speedup`` and that exists in
+**both** reports is compared; a drop below ``(1 - tolerance)`` of the
+baseline value fails the run.  Sections that exist in only one report
+(new benchmarks, retired ones) are listed but never fail — the tool
+guards against regressions in what both commits measured, not against
+benchmark-suite evolution.
+
+Reports taken in ``--fast`` mode are noisy by construction; when the
+two reports' ``meta.fast`` flags differ the comparison is printed but
+the exit code stays 0 unless ``--strict`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _speedup_leaves(report: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten ``{dotted.path: value}`` for numeric leaves named *speedup*."""
+    out: dict[str, float] = {}
+    for key, value in report.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            out.update(_speedup_leaves(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            if "speedup" in key.lower():
+                out[path] = float(value)
+    return out
+
+
+def compare(base: dict, new: dict, tolerance: float = 0.10) -> dict:
+    """Structured comparison of two perf-guard reports.
+
+    Returns ``{"common": [...], "regressions": [...], "only_base": [...],
+    "only_new": [...], "fast_mismatch": bool}``; each common entry is
+    ``(path, base_value, new_value, ratio)``.
+    """
+    base_leaves = _speedup_leaves(base)
+    new_leaves = _speedup_leaves(new)
+    common = sorted(set(base_leaves) & set(new_leaves))
+    rows = []
+    regressions = []
+    for path in common:
+        b, n = base_leaves[path], new_leaves[path]
+        ratio = n / b if b else float("inf")
+        rows.append((path, b, n, ratio))
+        if n < b * (1.0 - tolerance):
+            regressions.append((path, b, n, ratio))
+    return {
+        "common": rows,
+        "regressions": regressions,
+        "only_base": sorted(set(base_leaves) - set(new_leaves)),
+        "only_new": sorted(set(new_leaves) - set(base_leaves)),
+        "fast_mismatch": bool(base.get("meta", {}).get("fast"))
+        != bool(new.get("meta", {}).get("fast")),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("base", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="current BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional drop per gated speedup "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on regressions even when the reports' "
+                             "meta.fast flags differ")
+    args = parser.parse_args(argv)
+
+    with open(args.base) as fh:
+        base = json.load(fh)
+    with open(args.new) as fh:
+        new = json.load(fh)
+    diff = compare(base, new, args.tolerance)
+
+    print(f"base: {args.base} (fast={base.get('meta', {}).get('fast')}, "
+          f"sha={base.get('meta', {}).get('git_sha')})")
+    print(f"new:  {args.new} (fast={new.get('meta', {}).get('fast')}, "
+          f"sha={new.get('meta', {}).get('git_sha')})")
+    for path, b, n, ratio in diff["common"]:
+        flag = "  REGRESSION" if (path, b, n, ratio) in diff["regressions"] else ""
+        print(f"  {path}: {b:.2f}x -> {n:.2f}x ({ratio:.2f} of base){flag}")
+    for path in diff["only_base"]:
+        print(f"  {path}: only in base (retired benchmark, not compared)")
+    for path in diff["only_new"]:
+        print(f"  {path}: only in new (new benchmark, not compared)")
+
+    if not diff["common"]:
+        print("no common speedup metrics; nothing to compare")
+        return 0
+    if diff["regressions"]:
+        noun = "regression" + ("s" if len(diff["regressions"]) != 1 else "")
+        msg = (f"{len(diff['regressions'])} {noun} beyond "
+               f"{args.tolerance:.0%} tolerance")
+        if diff["fast_mismatch"] and not args.strict:
+            print(f"WARNING: {msg}, but one report is --fast; "
+                  "not failing (use --strict to enforce)")
+            return 0
+        print(f"FAIL: {msg}")
+        return 1
+    print("OK: no speedup regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

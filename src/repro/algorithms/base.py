@@ -170,8 +170,11 @@ def cube_route(info: RankInfo, src: int, dst: int, data: Any, nwords: int, tag: 
 class MatmulResult:
     """Product matrix plus the simulated execution profile."""
 
-    C: np.ndarray
-    """The computed product (numerically identical to ``A @ B``)."""
+    C: np.ndarray | None
+    """The computed product (numerically identical to ``A @ B``), or
+    ``None`` for a trace-compiled run (``sim.compiled``): the compiled
+    scheduler replays timing without moving payloads, so there is no
+    product matrix to assemble."""
 
     sim: SimResult
     """Raw simulation outcome (per-rank stats, trace, returns)."""

@@ -32,7 +32,7 @@ from repro.algorithms.base import (
 from repro.blockops.partition import BlockSpec, block_slices
 from repro.core.machine import MachineParams, NCUBE2_LIKE
 from repro.simulator.collectives import reduce_scatter_halving, shift_cyclic
-from repro.simulator.engine import Engine, RankInfo
+from repro.simulator.engine import Engine, RankInfo, SymmetrySpec
 from repro.simulator.faults import FaultPlan
 from repro.simulator.request import Compute
 from repro.simulator.topology import Hypercube, Topology, gray_code
@@ -125,6 +125,24 @@ def run_berntsen(
 
     col_strips = block_slices(n, nsub)  # A column strips / B row strips
 
+    # shared group lists, one per (subcube, row/col) and per grid position;
+    # together each family partitions the full rank set
+    row_groups = {
+        (s, i): [rank_of(s, i, c) for c in range(nsub)]
+        for s in range(nsub)
+        for i in range(nsub)
+    }
+    col_groups = {
+        (s, j): [rank_of(s, r, j) for r in range(nsub)]
+        for s in range(nsub)
+        for j in range(nsub)
+    }
+    reduce_groups = {
+        (i, j): [rank_of(t, i, j) for t in range(nsub)]
+        for i in range(nsub)
+        for j in range(nsub)
+    }
+
     factories: list = [None] * p
     for s in range(nsub):
         a_strip = A[:, col_strips[s]]
@@ -137,34 +155,60 @@ def run_berntsen(
         b_blocks = b_spec.scatter(b_strip)
         for i in range(nsub):
             for j in range(nsub):
-                row_group = [rank_of(s, i, c) for c in range(nsub)]
-                col_group = [rank_of(s, r, j) for r in range(nsub)]
-                reduce_group = [rank_of(t, i, j) for t in range(nsub)]
                 factories[rank_of(s, i, j)] = _program(
                     s,
                     i,
                     j,
                     a_blocks[i][(i + j) % nsub],  # pre-aligned, as in run_cannon
                     b_blocks[(i + j) % nsub][j],
-                    row_group,
-                    col_group,
-                    reduce_group,
+                    row_groups[(s, i)],
+                    col_groups[(s, j)],
+                    reduce_groups[(i, j)],
                 )
 
+    # the inner-Cannon rolls are rank-symmetric over the per-subcube rows
+    # and columns, the final summation over the cross-subcube reduction
+    # groups (the compiler probes each family; whichever stage it cannot
+    # prove symmetric triggers the heap fallback instead)
+    symmetry = SymmetrySpec(
+        partitions={
+            "row": np.asarray(
+                [row_groups[(s, i)] for s in range(nsub) for i in range(nsub)],
+                dtype=np.int64,
+            ),
+            "col": np.asarray(
+                [col_groups[(s, j)] for s in range(nsub) for j in range(nsub)],
+                dtype=np.int64,
+            ),
+            "reduce": np.asarray(
+                [reduce_groups[(i, j)] for i in range(nsub) for j in range(nsub)],
+                dtype=np.int64,
+            ),
+        }
+    )
+
     sim = Engine(
-        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan
+        topo,
+        machine,
+        trace=trace,
+        scheduler=scheduler,
+        fault_plan=fault_plan,
+        symmetry=symmetry,
     ).run(factories)
 
     # Reassemble: for each grid position the summed C block lives striped
     # (by flattened-word interval) across the nsub corresponding ranks.
-    c_spec = BlockSpec(n, n, nsub, nsub)
-    C = np.zeros((n, n), dtype=np.result_type(A, B))
-    pieces: dict[tuple[int, int], list] = {}
-    shapes: dict[tuple[int, int], tuple[int, int]] = {}
-    for (i, j), shape, piece, lo, hi in sim.returns:
-        pieces.setdefault((i, j), []).append((lo, piece))
-        shapes[(i, j)] = shape
-    for (i, j), parts in pieces.items():
-        flat = np.concatenate([x for _, x in sorted(parts, key=lambda t: t[0])])
-        C[c_spec.block_slice(i, j)] = flat.reshape(shapes[(i, j)])
+    if sim.compiled:
+        C = None
+    else:
+        c_spec = BlockSpec(n, n, nsub, nsub)
+        C = np.zeros((n, n), dtype=np.result_type(A, B))
+        pieces: dict[tuple[int, int], list] = {}
+        shapes: dict[tuple[int, int], tuple[int, int]] = {}
+        for (i, j), shape, piece, lo, hi in sim.returns:
+            pieces.setdefault((i, j), []).append((lo, piece))
+            shapes[(i, j)] = shape
+        for (i, j), parts in pieces.items():
+            flat = np.concatenate([x for _, x in sorted(parts, key=lambda t: t[0])])
+            C[c_spec.block_slice(i, j)] = flat.reshape(shapes[(i, j)])
     return MatmulResult(C=C, sim=sim, n=n, p=p, machine=machine, algorithm="berntsen")

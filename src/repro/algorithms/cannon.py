@@ -31,7 +31,7 @@ from repro.algorithms.base import (
 from repro.blockops.partition import BlockSpec, int_sqrt
 from repro.core.machine import MachineParams, NCUBE2_LIKE
 from repro.simulator.collectives import my_index, shift_cyclic, words_of
-from repro.simulator.engine import Engine, RankInfo
+from repro.simulator.engine import Engine, RankInfo, SymmetrySpec
 from repro.simulator.faults import FaultPlan
 from repro.simulator.request import Compute, Recv, Send, SendAll
 from repro.simulator.topology import Topology
@@ -149,6 +149,11 @@ def run_cannon(
     a_blocks = spec.scatter(A)
     b_blocks = spec.scatter(B)
 
+    # one shared group list per grid row/column (not one pair per rank:
+    # at 64k+ ranks the per-rank copies dominated the driver's footprint)
+    row_groups = [[layout[i][c] for c in range(side)] for i in range(side)]
+    col_groups = [[layout[r][j] for r in range(side)] for j in range(side)]
+
     factories: list = [None] * p
     for i in range(side):
         for j in range(side):
@@ -158,24 +163,44 @@ def run_cannon(
             else:
                 a0 = a_blocks[i][j]
                 b0 = b_blocks[i][j]
-            row_group = [layout[i][c] for c in range(side)]
-            col_group = [layout[r][j] for r in range(side)]
             factories[layout[i][j]] = cannon_program(
                 i,
                 j,
                 a0,
                 b0,
-                row_group,
-                col_group,
+                row_groups[i],
+                col_groups[j],
                 align_charged=(align == "charged"),
                 overlap_shifts=overlap_shifts,
             )
 
+    # the roll phase is rank-symmetric over grid rows and columns; the
+    # charged alignment shifts are not (offsets depend on i, j), so only
+    # pre-aligned runs advertise a spec to the trace compiler
+    symmetry = (
+        SymmetrySpec(
+            partitions={
+                "row": np.asarray(row_groups, dtype=np.int64),
+                "col": np.asarray(col_groups, dtype=np.int64),
+            }
+        )
+        if align == "pre"
+        else None
+    )
+
     sim = Engine(
-        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan
+        topo,
+        machine,
+        trace=trace,
+        scheduler=scheduler,
+        fault_plan=fault_plan,
+        symmetry=symmetry,
     ).run(factories)
 
-    C = np.zeros((n, n), dtype=np.result_type(A, B))
-    for (i, j), c_block in sim.returns:
-        C[spec.block_slice(i, j)] = c_block
+    if sim.compiled:
+        C = None
+    else:
+        C = np.zeros((n, n), dtype=np.result_type(A, B))
+        for (i, j), c_block in sim.returns:
+            C[spec.block_slice(i, j)] = c_block
     return MatmulResult(C=C, sim=sim, n=n, p=p, machine=machine, algorithm="cannon")

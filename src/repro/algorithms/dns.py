@@ -207,8 +207,12 @@ def _run_cube(
                     broadcast=broadcast,
                 )
 
+    # cube_route is position-dependent (relay ranks recv+send, bystanders
+    # idle), so DNS/GK programs are not rank-symmetric: no SymmetrySpec,
+    # and scheduler="compiled" degrades to the heap scheduler.
     sim = Engine(
-        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan
+        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan,
+        symmetry=None,
     ).run(factories)
 
     C = np.zeros((n, n), dtype=np.result_type(A, B))
@@ -388,8 +392,10 @@ def run_dns_block(
                             i, j, k, li, lj, r, s, rank_of, a0, b0, route_mode
                         )
 
+    # not rank-symmetric (cube_route relays) — see _run_cube
     sim = Engine(
-        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan
+        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan,
+        symmetry=None,
     ).run(factories)
 
     C = np.zeros((n, n), dtype=np.result_type(A, B))

@@ -30,7 +30,7 @@ from repro.algorithms.base import (
 from repro.blockops.partition import BlockSpec, int_sqrt
 from repro.core.machine import MachineParams, NCUBE2_LIKE
 from repro.simulator.collectives import bcast_binomial, my_index, shift_cyclic, words_of
-from repro.simulator.engine import Engine, RankInfo
+from repro.simulator.engine import Engine, RankInfo, SymmetrySpec
 from repro.simulator.faults import FaultPlan
 from repro.simulator.request import Compute, Recv, Send
 from repro.simulator.topology import Topology
@@ -130,20 +130,42 @@ def run_fox(
     a_blocks = spec.scatter(A)
     b_blocks = spec.scatter(B)
 
+    row_groups = [[layout[i][c] for c in range(side)] for i in range(side)]
+    col_groups = [[layout[r][j] for r in range(side)] for j in range(side)]
+
     factories: list = [None] * p
     for i in range(side):
         for j in range(side):
-            row_group = [layout[i][c] for c in range(side)]
-            col_group = [layout[r][j] for r in range(side)]
             factories[layout[i][j]] = _program(
-                i, j, a_blocks[i][j], b_blocks[i][j], row_group, col_group, broadcast
+                i, j, a_blocks[i][j], b_blocks[i][j],
+                row_groups[i], col_groups[j], broadcast,
             )
 
+    # Fox's broadcast is rooted: within a row, the root's trace (send-only)
+    # differs from the leaves' (recv-then-forward), so the program is not
+    # rank-symmetric.  We still advertise the grid partitions — the trace
+    # compiler's probes detect the divergence and fall back to the heap
+    # scheduler, which is the documented behavior for this driver.
+    symmetry = SymmetrySpec(
+        partitions={
+            "row": np.asarray(row_groups, dtype=np.int64),
+            "col": np.asarray(col_groups, dtype=np.int64),
+        }
+    )
+
     sim = Engine(
-        topo, machine, trace=trace, scheduler=scheduler, fault_plan=fault_plan
+        topo,
+        machine,
+        trace=trace,
+        scheduler=scheduler,
+        fault_plan=fault_plan,
+        symmetry=symmetry,
     ).run(factories)
 
-    C = np.zeros((n, n), dtype=np.result_type(A, B))
-    for (i, j), c_block in sim.returns:
-        C[spec.block_slice(i, j)] = c_block
+    if sim.compiled:
+        C = None
+    else:
+        C = np.zeros((n, n), dtype=np.result_type(A, B))
+        for (i, j), c_block in sim.returns:
+            C[spec.block_slice(i, j)] = c_block
     return MatmulResult(C=C, sim=sim, n=n, p=p, machine=machine, algorithm="fox")

@@ -64,6 +64,10 @@ def run_gk(
     behind Eq. 7 (and the one the paper's own CM-5 implementation used),
     ``"scatter-allgather"`` / ``"pipelined"`` are the §5.4.1 "improved
     GK" large-message schemes (:mod:`repro.simulator.jho`).
+
+    Like DNS, GK's stage-1 cube routing is position-dependent, so the
+    program is not rank-symmetric and ``scheduler="compiled"`` degrades
+    to the heap scheduler (``sim.compile_fallback`` records why).
     """
     n = check_same_shape(A, B)
     r = gk_cube_side(p)

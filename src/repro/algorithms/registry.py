@@ -55,6 +55,12 @@ class AlgorithmEntry:
     model_key: str
     """Key of the matching analytic model in :data:`repro.core.models.MODELS`."""
 
+    rank_symmetric: bool = False
+    """Whether the driver's default configuration produces a rank-symmetric
+    SPMD program that the trace compiler (``scheduler="compiled"``) can
+    vectorize.  ``False`` means a compiled run silently degrades to the
+    heap scheduler (``sim.compile_fallback`` records why)."""
+
 
 def _feasible_grid(n: int, p: int) -> bool:
     return _square_side_pow2(p) and int(np.sqrt(p) + 0.5) <= n
@@ -97,6 +103,7 @@ REGISTRY: dict[str, AlgorithmEntry] = {
             run=run_simple,
             feasible=_feasible_grid,
             model_key="simple",
+            rank_symmetric=True,
         ),
         AlgorithmEntry(
             key="cannon",
@@ -105,6 +112,7 @@ REGISTRY: dict[str, AlgorithmEntry] = {
             run=run_cannon,
             feasible=_feasible_grid,
             model_key="cannon",
+            rank_symmetric=True,
         ),
         AlgorithmEntry(
             key="fox",
@@ -113,6 +121,7 @@ REGISTRY: dict[str, AlgorithmEntry] = {
             run=run_fox,
             feasible=_feasible_grid,
             model_key="fox",
+            rank_symmetric=False,
         ),
         AlgorithmEntry(
             key="berntsen",
@@ -121,6 +130,7 @@ REGISTRY: dict[str, AlgorithmEntry] = {
             run=run_berntsen,
             feasible=_feasible_berntsen,
             model_key="berntsen",
+            rank_symmetric=True,
         ),
         AlgorithmEntry(
             key="dns",
@@ -129,6 +139,7 @@ REGISTRY: dict[str, AlgorithmEntry] = {
             run=_run_dns,
             feasible=_feasible_dns,
             model_key="dns",
+            rank_symmetric=False,
         ),
         AlgorithmEntry(
             key="gk",
@@ -137,6 +148,7 @@ REGISTRY: dict[str, AlgorithmEntry] = {
             run=run_gk,
             feasible=_feasible_gk,
             model_key="gk",
+            rank_symmetric=False,
         ),
     )
 }

@@ -15,7 +15,13 @@ on call order instead of the plan), and the event-heap core keeps its
 two hot-loop disciplines (ENG006: no ``TraceEvent`` — and therefore no
 label f-string — built when tracing is off, and every heap insertion
 goes through the one ``Engine._schedule`` helper that owns the
-``(timestamp, priority, seq, rank)`` ordering contract).
+``(timestamp, priority, seq, rank)`` ordering contract), and the batch
+replay paths charge messages only through the shared
+:mod:`repro.simulator.charging` helpers (ENG008: no raw ``ts``/``tw``/
+``th`` arithmetic or ``transfer_time``/``sender_busy_time`` calls in
+``compile.py``/``macro.py`` — a re-derived cost expression there can
+re-associate floating point and silently break the bit-identity
+contract between the compiled, heap, and rescan schedulers).
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ __all__ = [
     "WordsOfAccountingRule",
     "FaultRngStreamRule",
     "HeapDisciplineRule",
+    "CompiledChargingHelpersRule",
 ]
 
 
@@ -324,4 +331,52 @@ class HeapDisciplineRule(Rule):
                     "heappush outside Engine._schedule; all event insertion "
                     "goes through the schedule() helper so the (timestamp, "
                     "priority, seq, rank) ordering contract holds",
+                )
+
+
+@register
+class CompiledChargingHelpersRule(Rule):
+    """ENG008: batch replay charges messages only via the shared helpers.
+
+    The compiled scheduler's bit-identity guarantee rests on every path
+    evaluating the *same* IEEE expressions in the same order.  The cost
+    formulas live in :func:`repro.simulator.charging.message_times` /
+    ``recv_wait_times``; if ``compile.py`` or ``macro.py`` reads the raw
+    machine constants (``.ts``/``.tw``/``.th``) or calls
+    ``transfer_time``/``sender_busy_time`` directly, it has re-derived a
+    cost expression that can re-associate floating point — agreeing with
+    the generator schedulers to within rounding but not bitwise, which
+    the divergence fuzz suite then reports as a scheduler bug.
+    """
+
+    rule_id = "ENG008"
+    name = "compiled-charging-helpers"
+    description = (
+        "compile.py and macro.py charge time only through "
+        "repro.simulator.charging (no raw ts/tw/th or transfer_time use)"
+    )
+    path_filter = ("repro/simulator/compile.py", "repro/simulator/macro.py")
+
+    _PARAM_ATTRS = ("ts", "tw", "th")
+    _COST_METHODS = ("transfer_time", "sender_busy_time")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr in self._PARAM_ATTRS:
+                yield self.finding(
+                    module, node,
+                    f"raw machine parameter .{node.attr} read in a batch "
+                    "replay module; charge through "
+                    "repro.simulator.charging.message_times/recv_wait_times "
+                    "so compiled and generator schedulers stay bit-identical",
+                )
+            elif node.attr in self._COST_METHODS:
+                yield self.finding(
+                    module, node,
+                    f".{node.attr}() called in a batch replay module; the "
+                    "scalar cost methods belong to the generator schedulers — "
+                    "use repro.simulator.charging so the vectorized path "
+                    "evaluates the identical expressions",
                 )

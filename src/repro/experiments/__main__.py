@@ -11,6 +11,7 @@ import json
 import sys
 
 from repro.core.cache import cache_stats, configure_disk_cache
+from repro.simulator.engine import SCHEDULERS
 from repro.experiments import (
     allport,
     architectures,
@@ -136,9 +137,10 @@ def main(argv: list[str] | None = None) -> int:
                              "(the 16k smoke run uses this to stay under the "
                              "tier-1 timeout)")
     parser.add_argument("--scheduler", type=str, default=None,
-                        choices=("ready", "rescan", "heap"),
-                        help="engine scheduler for scaling-large "
-                             "(default: heap; see docs/performance.md)")
+                        choices=SCHEDULERS,
+                        help="engine scheduler for scaling-large (default: "
+                             "heap when verifying, compiled with --no-verify; "
+                             "see docs/performance.md)")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="directory for the persistent result cache "
                              "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")

@@ -157,6 +157,12 @@ def scaled_speedup(
         B = rng.standard_normal((n, n))
         res = registry.run(key, A, B, p, machine, scheduler=scheduler)
         if verify:
+            if res.C is None:
+                raise ValueError(
+                    "verify=True needs a product matrix, but the run was "
+                    "trace-compiled (timing-only); use scheduler='heap' or "
+                    "verify=False"
+                )
             assert np.allclose(res.C, A @ B)
         rows.append(
             {
@@ -186,15 +192,27 @@ def run_large_p(
     p_values: tuple[int, ...] = (64, 256, 1024, 4096),
     n0: int = 8,
     verify: bool = True,
-    scheduler: str | None = "heap",
+    scheduler: str | None = None,
 ) -> dict[str, list[dict]]:
     """The ``scaling-large`` experiment: scaled speedup on big machines.
 
-    Defaults to the event-heap scheduler — every *p* in *p_values* must
-    be a perfect square, and with ``n0`` small the heap core carries the
-    run to 16384 and 65536 ranks (``make scale-16k-smoke`` exercises the
-    16k point in CI).
+    Every *p* in *p_values* must be a perfect square.  With *scheduler*
+    left ``None`` the experiment picks for itself: verifying runs use the
+    event-heap scheduler (payloads must actually move to produce ``C``),
+    non-verifying runs use the trace compiler (``"compiled"``), whose
+    batch replay carries the sweep to 65536+ ranks (``make
+    scale-64k-smoke`` exercises the 64k point in CI; 16k via
+    ``scale-16k-smoke``).  Asking for ``scheduler="compiled"`` together
+    with ``verify=True`` is a contradiction and raises ``ValueError``.
     """
+    if scheduler is None:
+        scheduler = "heap" if verify else "compiled"
+    elif scheduler == "compiled" and verify:
+        raise ValueError(
+            "scheduler='compiled' replays timing without payloads, so there "
+            "is no product matrix to verify; pass verify=False (or another "
+            "scheduler)"
+        )
     return {
         "scaled_cannon": scaled_speedup(
             "cannon", n0=n0, p_values=p_values, machine=machine,

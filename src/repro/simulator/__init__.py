@@ -18,6 +18,7 @@ from repro.simulator.collectives import (
     shift_cyclic,
     words_of,
 )
+from repro.simulator.compile import BatchSchedule, CompileFallback, SymmetrySpec
 from repro.simulator.engine import Engine, RankInfo, SimResult, run_spmd
 from repro.simulator.errors import (
     DeadlockError,
@@ -51,6 +52,9 @@ __all__ = [
     "RankInfo",
     "SimResult",
     "run_spmd",
+    "BatchSchedule",
+    "CompileFallback",
+    "SymmetrySpec",
     "DeadlockError",
     "ProgramError",
     "RankCrashError",

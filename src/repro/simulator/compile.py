@@ -1,0 +1,580 @@
+"""Record→replay trace compilation for rank-symmetric SPMD programs.
+
+The algorithms under study are SPMD and rank-symmetric by construction:
+every rank runs the same program text, and peers differ only by a fixed
+rank relabeling (a cyclic or dimension-exchange law over a process-grid
+axis).  The request stream of one representative rank therefore
+determines the stream of all ``p`` ranks — which is what lets
+``scheduler="compiled"`` simulate 64k–256k ranks with *zero* generator
+resumes:
+
+1. **Record.**  A handful of *probe* ranks (first/second/last member of
+   each symmetry axis, plus the global corners) run as ordinary
+   generators, but against a *reflection* mailbox: each ``Recv`` is
+   resumed with the probe's own earlier tag-matched ``Send`` payload
+   (rank symmetry says the true payload has the same structure).  The
+   concrete request stream — op kinds, byte counts, tags, peers — is
+   recorded symbolically.
+2. **Detect symmetry.**  The probe traces are compared structurally
+   (same op kinds, sizes, tags at every step) and each peer field must
+   be explained by one law — ``peer = group[(pos + d) % g]`` (cyclic) or
+   ``peer = group[pos ^ d]`` (dimension exchange) — on one axis of the
+   driver-provided :class:`SymmetrySpec`.  Any mismatch raises
+   :class:`CompileFallback` and the engine transparently re-runs the
+   program on the ``heap`` scheduler.
+3. **Lower + replay.**  The trace becomes a :class:`BatchSchedule`: a
+   list of symbolic phases (:mod:`repro.simulator.request`) whose peer
+   and hop fields are precomputed ``(p,)`` vectors.  Sends and receives
+   are FIFO-matched per (tag, law) channel at compile time, and replay
+   charges each phase as one vectorized update into
+   :class:`~repro.simulator.trace.RankArrays` through the shared
+   :mod:`repro.simulator.charging` helpers, with macro collectives
+   dispatched to the cross-group batch executors in
+   :mod:`repro.simulator.macro`.  The replay evaluates exactly the
+   reference cost expressions elementwise, so a compiled run is
+   bit-identical to ``heap``/``rescan`` whenever it compiles at all.
+
+What falls back (by design, not by accident):
+
+* no :class:`SymmetrySpec` from the driver, or tracing / link contention
+  / an active fault plan (those regimes need live per-rank event
+  interleaving);
+* any probe whose ``Recv`` precedes a reflectable ``Send`` (rooted
+  broadcasts, relay chains — genuinely position-dependent programs);
+* ``bcast``/``reduce`` macro collectives (their results are real merged
+  payload objects a generator-free replay cannot produce);
+* programs whose payload *structure* feeds back into message sizes in a
+  way reflection cannot mirror (e.g. message-level recursive-doubling
+  allgather, whose dict payloads double each round — the reflected
+  dict keys collide and recording fails safely);
+* probe traces that disagree structurally, or peers no single law
+  explains.
+
+Compiled runs return ``returns=[None]*p`` (no payloads move), so drivers
+surface ``C=None``; timing, stats, and message/word counts are the
+deliverable at this scale.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.machine import MachineParams
+from repro.simulator.charging import message_times, recv_wait_times
+from repro.simulator.macro import BATCH_KINDS, run_batch_collective
+from repro.simulator.request import (
+    Barrier,
+    Checkpoint,
+    CollectiveOp,
+    Compute,
+    Recv,
+    Send,
+    SendAll,
+    SymBarrier,
+    SymCollective,
+    SymCompute,
+    SymPhase,
+    SymRecv,
+    SymSend,
+    SymSendAll,
+    words_of,
+)
+from repro.simulator.topology import PairHopCache, Topology
+from repro.simulator.trace import RankArrays
+
+__all__ = [
+    "CompileFallback",
+    "SymmetrySpec",
+    "BatchSchedule",
+    "compile_spmd",
+]
+
+_MAX_TRACE_OPS = 200_000
+
+
+class CompileFallback(Exception):
+    """The program cannot be trace-compiled; run it on ``heap`` instead."""
+
+
+@dataclass(frozen=True)
+class SymmetrySpec:
+    """Driver-provided rank-symmetry annotation for the trace compiler.
+
+    *partitions* maps an axis name (e.g. ``"row"``, ``"col"``,
+    ``"reduce"``) to a ``(G, g)`` integer matrix whose rows are the
+    ordered communication groups of that axis; the rows of each axis
+    must partition ``0..p-1``.  Peer laws are inferred per message over
+    these axes.  The spec is an *assertion candidate*, not a promise:
+    probe recording verifies it structurally and the engine falls back
+    to ``heap`` when the program turns out not to be rank-symmetric.
+
+    *extra_probes* optionally adds ranks to the probe set (the default
+    probes are the first/second/last members of each axis's first group,
+    the last member of its last group, and the global corner ranks).
+    """
+
+    partitions: Mapping[str, Any]
+    extra_probes: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class _Axis:
+    name: str
+    mat: np.ndarray  # (G, g) group rows
+    pos: np.ndarray  # rank -> position within its group
+    row: np.ndarray  # rank -> group row index
+    g: int
+
+
+def _build_axes(spec: SymmetrySpec, p: int) -> dict[str, _Axis]:
+    axes: dict[str, _Axis] = {}
+    for name, raw in spec.partitions.items():
+        mat = np.asarray(raw, dtype=np.int64)
+        if mat.ndim != 2 or mat.size != p or not np.array_equal(
+            np.sort(mat.ravel()), np.arange(p)
+        ):
+            raise ValueError(
+                f"symmetry axis {name!r} must be a (G, g) matrix whose rows "
+                f"partition ranks 0..{p - 1}"
+            )
+        g = int(mat.shape[1])
+        pos = np.empty(p, dtype=np.int64)
+        row = np.empty(p, dtype=np.int64)
+        flat = mat.ravel()
+        pos[flat] = np.tile(np.arange(g, dtype=np.int64), mat.shape[0])
+        row[flat] = np.repeat(np.arange(mat.shape[0], dtype=np.int64), g)
+        axes[name] = _Axis(name, mat, pos, row, g)
+    if not axes:
+        raise ValueError("SymmetrySpec needs at least one partition axis")
+    return axes
+
+
+def _probe_ranks(axes: dict[str, _Axis], spec: SymmetrySpec, p: int) -> list[int]:
+    """Probe set covering distinct positions along every axis.
+
+    Position diversity is what makes structural comparison catch
+    position-dependent programs (roots that only send, ring ends that
+    only receive), so each axis contributes its first group's first,
+    second, and last members plus the last group's last member.
+    """
+    probes = {0, p - 1}
+    for ax in axes.values():
+        probes.add(int(ax.mat[0, 0]))
+        probes.add(int(ax.mat[-1, -1]))
+        if ax.g > 1:
+            probes.add(int(ax.mat[0, 1]))
+            probes.add(int(ax.mat[0, -1]))
+    for r in spec.extra_probes:
+        if not 0 <= int(r) < p:
+            raise ValueError(f"extra probe rank {r} out of range for p={p}")
+        probes.add(int(r))
+    return sorted(probes)
+
+
+# -- recording -----------------------------------------------------------------
+
+
+class _Foreign:
+    """Fresh dict key standing in for a remote rank's key during reflection."""
+
+    __slots__ = ()
+
+
+def _reflect(value: Any) -> Any:
+    """The probe's own payload, restructured as a *remote* rank's would be.
+
+    Arrays and tuples come back as-is (rank symmetry: same shape either
+    way).  Dict keys are replaced with fresh sentinels: a real peer's
+    dict would carry *its* keys, so handing back the probe's own keys
+    would let key-merging programs (recursive-doubling allgather)
+    silently collapse — with foreign keys the collapse becomes a loud
+    recording failure and a safe fallback instead.
+    """
+    if isinstance(value, dict):
+        return {_Foreign(): _reflect(v) for v in value.values()}
+    return value
+
+
+def _synthesize_collective(req: CollectiveOp, rank: int) -> Any:
+    """The structural stand-in a probe is resumed with for a macro collective."""
+    group = list(req.group)
+    g = len(group)
+    if req.kind == "shift":
+        # reference returns the (src)-neighbor's payload: same structure
+        return req.data
+    if req.kind in ("allgather_rd", "allgather_ring"):
+        return [req.data] * g
+    # reduce_scatter: walk the recursive-halving index arithmetic for
+    # this rank's position; values are the probe's own (unsummed) words
+    # but the slice geometry — all that can feed back into timing — is exact
+    idx = group.index(rank)
+    flat = req.data
+    lo, hi = 0, int(flat.size)
+    block = g
+    while block > 1:
+        half = block // 2
+        mid = lo + (hi - lo) // 2
+        if idx % block < half:
+            hi = mid
+        else:
+            lo = mid
+        block = half
+    return (flat[lo:hi].copy(), lo, hi)
+
+
+def _record_collective(req: CollectiveOp, rank: int, ops: list[tuple]) -> Any:
+    kind = req.kind
+    if kind not in BATCH_KINDS:
+        raise CompileFallback(
+            f"macro collective {kind!r} moves real payloads; not compilable"
+        )
+    group = tuple(int(x) for x in req.group)
+    g = len(group)
+    if kind in ("allgather_rd", "reduce_scatter") and (g & (g - 1)):
+        raise CompileFallback(f"{kind!r} needs a power-of-two group, got g={g}")
+    m = int(req.nwords) if req.nwords is not None else words_of(req.data)
+    w = words_of(req.data)
+    flat_size = int(req.data.size) if kind == "reduce_scatter" else 0
+    ops.append(
+        (
+            "coll",
+            kind,
+            group,
+            m,
+            w,
+            int(req.tag),
+            int(req.offset) % g,
+            bool(req.charge_adds),
+            flat_size,
+        )
+    )
+    return _synthesize_collective(req, rank)
+
+
+def _record_probe(
+    factory: Callable[..., Any], info: Any, rank: int, max_ops: int
+) -> list[tuple]:
+    """Drive one probe generator against the reflection mailbox."""
+    gen = factory(info)
+    ops: list[tuple] = []
+    pending: dict[int, deque[Any]] = {}
+    try:
+        resume: Any = None
+        req = gen.send(None)
+        while True:
+            if len(ops) >= max_ops:
+                raise CompileFallback(
+                    f"probe trace exceeds {max_ops} ops; program too long to compile"
+                )
+            resume = None
+            cls = req.__class__
+            if cls is Compute:
+                ops.append(("compute", float(req.cost)))
+            elif cls is Send:
+                ops.append(("send", int(req.dst), int(req.nwords), int(req.tag)))
+                pending.setdefault(int(req.tag), deque()).append(req.data)
+            elif cls is SendAll:
+                parts = tuple(
+                    (int(m.dst), int(m.nwords), int(m.tag)) for m in req.messages
+                )
+                ops.append(("sendall", parts))
+                for m in req.messages:
+                    pending.setdefault(int(m.tag), deque()).append(m.data)
+            elif cls is Recv:
+                queue = pending.get(int(req.tag))
+                if not queue:
+                    raise CompileFallback(
+                        f"probe rank {rank}: Recv(tag={req.tag}) precedes any "
+                        f"reflectable Send — program is position-dependent"
+                    )
+                ops.append(("recv", int(req.src), int(req.tag)))
+                resume = _reflect(queue.popleft())
+            elif cls is Barrier:
+                ops.append(("barrier",))
+            elif cls is Checkpoint:
+                ops.append(("checkpoint",))
+            elif cls is CollectiveOp:
+                resume = _record_collective(req, rank, ops)
+            else:
+                raise CompileFallback(
+                    f"probe rank {rank}: unsupported request {cls.__name__}"
+                )
+            req = gen.send(resume)
+    except StopIteration:
+        return ops
+    except CompileFallback:
+        raise
+    except Exception as exc:
+        # reflection handed the program a structurally wrong value (or the
+        # program is simply broken) — fall back and let the real scheduler
+        # surface the real behavior
+        raise CompileFallback(
+            f"probe rank {rank} raised {type(exc).__name__} during recording: {exc}"
+        ) from exc
+    finally:
+        gen.close()
+
+
+# -- law inference and lowering ------------------------------------------------
+
+
+def _infer_law(
+    axes: dict[str, _Axis], peers: list[tuple[int, int]], what: str
+) -> tuple[str, str, int]:
+    """The (axis, law-kind, offset) explaining every probe's peer, or fallback."""
+    for name in sorted(axes):
+        ax = axes[name]
+        for law in ("cyc", "xor"):
+            d0: int | None = None
+            ok = True
+            for r, q in peers:
+                if ax.row[q] != ax.row[r]:
+                    ok = False
+                    break
+                if law == "cyc":
+                    d = int(ax.pos[q] - ax.pos[r]) % ax.g
+                else:
+                    d = int(ax.pos[q] ^ ax.pos[r])
+                    if d >= ax.g:
+                        ok = False
+                        break
+                if d0 is None:
+                    d0 = d
+                elif d != d0:
+                    ok = False
+                    break
+            if ok and d0 is not None:
+                return (name, law, d0)
+    raise CompileFallback(f"no cyclic/exchange law explains {what} peers {peers!r}")
+
+
+def _peer_vector(ax: _Axis, law: str, d: int) -> np.ndarray:
+    if law == "cyc":
+        newpos = (ax.pos + d) % ax.g
+    else:
+        newpos = ax.pos ^ d
+    return ax.mat[ax.row, newpos]
+
+
+class BatchSchedule:
+    """A lowered SPMD program: one symbolic phase per program step."""
+
+    __slots__ = ("phases", "nprocs", "probe_ranks")
+
+    def __init__(
+        self, phases: list[SymPhase], nprocs: int, probe_ranks: list[int]
+    ) -> None:
+        self.phases = phases
+        self.nprocs = nprocs
+        self.probe_ranks = probe_ranks
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def replay(
+        self, arr: RankArrays, topology: Topology, machine: MachineParams
+    ) -> None:
+        """Charge the whole schedule into *arr* — zero generator resumes."""
+        clock = arr.clock
+        all_port = machine.all_port
+        for ph in self.phases:
+            cls = ph.__class__
+            if cls is SymCompute:
+                arr.compute_time += ph.cost
+                clock += ph.cost
+            elif cls is SymSend:
+                busy, arrival = message_times(
+                    machine, clock, float(ph.nwords), ph.hops
+                )
+                ph.arrival = arrival
+                clock += busy
+                arr.send_time += busy
+                arr.messages_sent += 1
+                arr.words_sent += ph.nwords
+            elif cls is SymRecv:
+                src_phase = ph.source
+                assert src_phase is not None and src_phase.arrival is not None
+                arrival = src_phase.arrival[ph.src]
+                waited, advanced = recv_wait_times(clock, arrival)
+                arr.recv_wait_time += waited
+                clock[:] = advanced
+            elif cls is SymSendAll:
+                if all_port:
+                    busy = None
+                    for sp in ph.parts:
+                        b, a = message_times(
+                            machine, clock, float(sp.nwords), sp.hops
+                        )
+                        sp.arrival = a
+                        busy = b if busy is None else np.maximum(busy, b)
+                        arr.messages_sent += 1
+                        arr.words_sent += sp.nwords
+                    if busy is not None:
+                        clock += busy
+                        arr.send_time += busy
+                else:
+                    for sp in ph.parts:
+                        b, a = message_times(
+                            machine, clock, float(sp.nwords), sp.hops
+                        )
+                        sp.arrival = a
+                        clock += b
+                        arr.send_time += b
+                        arr.messages_sent += 1
+                        arr.words_sent += sp.nwords
+            elif cls is SymBarrier:
+                t = clock.max()
+                gap = t - clock
+                arr.barrier_wait_time += np.where(gap > 0.0, gap, 0.0)
+                clock[:] = t
+            else:  # SymCollective
+                run_batch_collective(ph, arr, topology, machine)
+
+
+def _check_uniform(values: Sequence[Any], step: int, what: str) -> Any:
+    first = values[0]
+    for v in values[1:]:
+        if v != first:
+            raise CompileFallback(
+                f"probe traces diverge at step {step}: {what} {first!r} vs {v!r}"
+            )
+    return first
+
+
+def _lower(
+    traces: list[tuple[int, list[tuple]]],
+    axes: dict[str, _Axis],
+    topology: Topology,
+    p: int,
+) -> list[SymPhase]:
+    nops = len(traces[0][1])
+    for r, ops in traces[1:]:
+        if len(ops) != nops:
+            raise CompileFallback(
+                f"probe traces diverge: rank {traces[0][0]} ran {nops} ops, "
+                f"rank {r} ran {len(ops)}"
+            )
+    hop_cache = PairHopCache.shared(topology)
+    everyone = np.arange(p, dtype=np.int64)
+    identity = everyone
+    phases: list[SymPhase] = []
+    channels: dict[tuple[int, str, str, int], deque[SymSend]] = {}
+
+    def lower_send(step: int, fields: list[tuple], part: str = "") -> SymSend:
+        """fields: per-probe (dst, nwords, tag) triples for one message."""
+        nwords = _check_uniform([f[1] for f in fields], step, f"send{part} nwords")
+        tag = _check_uniform([f[2] for f in fields], step, f"send{part} tag")
+        peers = [(r, f[0]) for (r, _), f in zip(traces, fields)]
+        axis, law, d = _infer_law(axes, peers, f"Send{part}(tag={tag})")
+        dst = _peer_vector(axes[axis], law, d)
+        hops = hop_cache.bulk(everyone, dst)
+        ph = SymSend(dst=dst, hops=hops, nwords=int(nwords), tag=int(tag))
+        channels.setdefault((int(tag), axis, law, d), deque()).append(ph)
+        return ph
+
+    for step in range(nops):
+        row = [ops[step] for _, ops in traces]
+        kind = _check_uniform([op[0] for op in row], step, "op kind")
+        if kind == "compute":
+            cost = _check_uniform([op[1] for op in row], step, "compute cost")
+            phases.append(SymCompute(cost=float(cost)))
+        elif kind == "send":
+            phases.append(lower_send(step, [op[1:] for op in row]))
+        elif kind == "sendall":
+            k = _check_uniform([len(op[1]) for op in row], step, "SendAll width")
+            parts = tuple(
+                lower_send(step, [op[1][j] for op in row], part=f"[{j}]")
+                for j in range(k)
+            )
+            phases.append(SymSendAll(parts=parts))
+        elif kind == "recv":
+            tag = _check_uniform([op[2] for op in row], step, "recv tag")
+            peers = [(r, op[1]) for (r, _), op in zip(traces, row)]
+            axis, law, e = _infer_law(axes, peers, f"Recv(tag={tag})")
+            d = (axes[axis].g - e) % axes[axis].g if law == "cyc" else e
+            queue = channels.get((int(tag), axis, law, d))
+            if not queue:
+                raise CompileFallback(
+                    f"step {step}: Recv(tag={tag}) matches no outstanding "
+                    f"compiled Send on axis {axis!r}"
+                )
+            src_phase = queue.popleft()
+            src = _peer_vector(axes[axis], law, e)
+            # the matched send must route exactly back: dst[src[r]] == r
+            if not np.array_equal(src_phase.dst[src], identity):
+                raise CompileFallback(
+                    f"step {step}: matched Send/Recv laws are not inverse "
+                    f"permutations on axis {axis!r}"
+                )
+            phases.append(SymRecv(src=src, tag=int(tag), source=src_phase))
+        elif kind == "barrier":
+            phases.append(SymBarrier())
+        elif kind == "checkpoint":
+            pass  # free without a fault plan, and compiled excludes fault plans
+        else:  # "coll"
+            (_, ckind, _g0, m, w, tag, offset, charge_adds, flat_size) = (
+                _check_uniform(
+                    [op[:2] + (len(op[2]),) + op[3:] for op in row],
+                    step,
+                    "collective shape",
+                )
+            )
+            axis_name = None
+            for name in sorted(axes):
+                ax = axes[name]
+                if all(
+                    tuple(ax.mat[ax.row[r]]) == op[2]
+                    for (r, _), op in zip(traces, row)
+                ):
+                    axis_name = name
+                    break
+            if axis_name is None:
+                raise CompileFallback(
+                    f"step {step}: collective {ckind!r} group is not a "
+                    f"symmetry-axis row"
+                )
+            phases.append(
+                SymCollective(
+                    kind=ckind,
+                    groups=axes[axis_name].mat,
+                    nwords=int(m),
+                    payload_words=int(w),
+                    offset=int(offset),
+                    charge_adds=bool(charge_adds),
+                    flat_size=int(flat_size),
+                )
+            )
+    return phases
+
+
+def compile_spmd(
+    factories: Sequence[Callable[..., Any]],
+    topology: Topology,
+    machine: MachineParams,
+    symmetry: SymmetrySpec,
+    *,
+    make_info: Callable[[int], Any],
+    max_ops: int = _MAX_TRACE_OPS,
+) -> BatchSchedule:
+    """Record probe ranks, verify symmetry, and lower to a batch schedule.
+
+    Raises :class:`CompileFallback` whenever the program turns out not
+    to be compilable; the caller (the engine) re-runs the untouched
+    factories on the ``heap`` scheduler.  Probe generators are consumed
+    here, but factories are re-invoked fresh on fallback, so recording
+    is side-effect-free as long as programs do not mutate driver state
+    before their first yield.
+    """
+    p = len(factories)
+    axes = _build_axes(symmetry, p)
+    probe_ranks = _probe_ranks(axes, symmetry, p)
+    traces = [
+        (r, _record_probe(factories[r], make_info(r), r, max_ops))
+        for r in probe_ranks
+    ]
+    phases = _lower(traces, axes, topology, p)
+    return BatchSchedule(phases, p, probe_ranks)

@@ -98,6 +98,8 @@ from typing import Any, Callable, Generator, Iterable
 import numpy as np
 
 from repro.core.machine import MachineParams
+from repro.simulator.charging import message_times
+from repro.simulator.compile import CompileFallback, SymmetrySpec, compile_spmd
 from repro.simulator.errors import DeadlockError, ProgramError
 from repro.simulator.faults import CompiledFaults, FaultPlan
 from repro.simulator.macro import run_collective
@@ -125,10 +127,14 @@ __all__ = [
     "SCHEDULERS",
     "PRI_RESUME",
     "PRI_WAKE",
+    "SymmetrySpec",
 ]
 
-#: Known scheduling strategies (see the module docstring).
-SCHEDULERS: tuple[str, ...] = ("ready", "rescan", "heap")
+#: Known scheduling strategies (see the module docstring).  ``"compiled"``
+#: trace-compiles rank-symmetric programs into a vectorized batch
+#: schedule (:mod:`repro.simulator.compile`) and transparently falls
+#: back to ``"heap"`` when the program cannot be compiled.
+SCHEDULERS: tuple[str, ...] = ("ready", "rescan", "heap", "compiled")
 
 #: Heap-event priority classes (second field of the ordering key
 #: ``(timestamp, priority, seq, rank)``): a rank resuming at its own
@@ -209,6 +215,23 @@ class SimResult:
     """Time charged to crash recovery (restart cost + lost work), summed
     over ranks."""
 
+    # -- trace compilation (scheduler="compiled") ---------------------------------
+
+    compiled: bool = False
+    """True when the run was trace-compiled and replayed as a batch
+    schedule.  Compiled runs move no payloads: ``returns`` is all
+    ``None`` and drivers surface ``C=None``; clocks, stats, and
+    message/word counts are bit-identical to the ``heap`` scheduler."""
+
+    compile_fallback: str | None = None
+    """Why a ``scheduler="compiled"`` request fell back to ``heap``
+    (``None`` when it compiled, or when compilation was never asked for)."""
+
+    arrays: "RankArrays | None" = field(default=None, repr=False)
+    """The run's columnar per-rank accounts; backs the ``total_*``
+    aggregates with numpy reductions instead of Python-level loops over
+    :attr:`stats`."""
+
     # -- derived metrics (Section 2) ---------------------------------------------
 
     def speedup(self, serial_work: float) -> float:
@@ -227,18 +250,29 @@ class SimResult:
 
     @property
     def total_compute_time(self) -> float:
+        if self.arrays is not None:
+            return float(self.arrays.compute_time.sum())
         return sum(s.compute_time for s in self.stats)
 
     @property
     def total_comm_time(self) -> float:
+        if self.arrays is not None:
+            a = self.arrays
+            return float(
+                (a.send_time + a.recv_wait_time + a.barrier_wait_time).sum()
+            )
         return sum(s.comm_time for s in self.stats)
 
     @property
     def total_messages(self) -> int:
+        if self.arrays is not None:
+            return int(self.arrays.messages_sent.sum())
         return sum(s.messages_sent for s in self.stats)
 
     @property
     def total_words(self) -> int:
+        if self.arrays is not None:
+            return int(self.arrays.words_sent.sum())
         return sum(s.words_sent for s in self.stats)
 
 
@@ -287,6 +321,7 @@ class Engine:
         scheduler: str | None = None,
         macro_collectives: bool | None = None,
         fault_plan: FaultPlan | None = None,
+        symmetry: SymmetrySpec | None = None,
     ) -> None:
         self.topology = topology
         self.machine = machine
@@ -310,6 +345,9 @@ class Engine:
         #: core charges faults through the reference helpers), and
         #: macro collectives are disabled either way.
         self.fault_plan = fault_plan
+        #: rank-symmetry annotation consumed by ``scheduler="compiled"``;
+        #: without one, a compiled request falls straight back to heap.
+        self.symmetry = symmetry
         self._faults: CompiledFaults | None = None
         # the heap scheduler's event queue of (timestamp, priority, seq,
         # rank) tuples plus its monotone tie-break counter; every
@@ -345,6 +383,11 @@ class Engine:
                 raise ValueError(f"need {p} programs, got {len(factories)}")
 
         scheduler = self.scheduler or DEFAULT_SCHEDULER
+        compile_fallback: str | None = None
+        if scheduler == "compiled":
+            compile_fallback = self._compiled_blocker()
+            if compile_fallback is not None:
+                scheduler = "heap"
         if (self.link_contention or self.fault_plan is not None) and scheduler != "heap":
             # reservation/recovery order is defined by the reference
             # scheduler; the heap core handles both natively through the
@@ -357,7 +400,7 @@ class Engine:
         )
         macro_ok = (
             macro
-            and scheduler in ("ready", "heap")
+            and scheduler in ("ready", "heap", "compiled")
             and not self.trace.enabled
             and not self.link_contention
             and self.fault_plan is None
@@ -365,6 +408,41 @@ class Engine:
         self._faults = (
             self.fault_plan.compile(p) if self.fault_plan is not None else None
         )
+
+        if scheduler == "compiled":
+            assert self.symmetry is not None  # _compiled_blocker checked
+            try:
+                schedule = compile_spmd(
+                    factories,
+                    self.topology,
+                    self.machine,
+                    self.symmetry,
+                    make_info=lambda r: RankInfo(
+                        rank=r,
+                        nprocs=p,
+                        topology=self.topology,
+                        machine=self.machine,
+                        macro_collectives=macro_ok,
+                    ),
+                )
+            except CompileFallback as exc:
+                # probe generators were consumed, but factories are
+                # re-invoked fresh below — recording left no other state
+                compile_fallback = str(exc)
+                scheduler = "heap"
+            else:
+                arr = RankArrays(p)
+                self._arr = arr
+                schedule.replay(arr, self.topology, self.machine)
+                return SimResult(
+                    parallel_time=float(arr.clock.max()) if p else 0.0,
+                    stats=arr.snapshot(),
+                    returns=[None] * p,
+                    trace=self.trace,
+                    nprocs=p,
+                    compiled=True,
+                    arrays=arr,
+                )
 
         arr = RankArrays(p)
         self._arr = arr
@@ -406,6 +484,8 @@ class Engine:
             returns=[s.retval for s in states],
             trace=self.trace,
             nprocs=p,
+            compile_fallback=compile_fallback,
+            arrays=arr,
         )
         f = self._faults
         if f is not None:
@@ -416,6 +496,18 @@ class Engine:
         return result
 
     # -- scheduling internals ---------------------------------------------------------
+
+    def _compiled_blocker(self) -> str | None:
+        """Why ``scheduler="compiled"`` must fall back before even probing."""
+        if self.symmetry is None:
+            return "no SymmetrySpec provided (driver does not declare rank symmetry)"
+        if self.trace.enabled:
+            return "tracing enabled"
+        if self.link_contention:
+            return "link contention enabled"
+        if self.fault_plan is not None:
+            return "active fault plan"
+        return None
 
     def _run_rescan(self, states: list[_RankState]) -> None:
         """The seed round-robin scheduler: rescan every pending rank each pass.
@@ -667,7 +759,7 @@ class Engine:
         all_port = machine.all_port
         topo = self.topology
         size = topo.size
-        hop_cache = PairHopCache(topo)
+        hop_cache = PairHopCache.shared(topo)
         hop = hop_cache.hop
         mail = self._mail
         tracing = self.trace.enabled
@@ -877,12 +969,9 @@ class Engine:
                                           dtype=np.int64, count=n)
                         hops_a = hop_cache.bulk(idx.astype(np.int64), dsts)
                         nws_f = nws.astype(np.float64)
-                        if cut_through:
-                            durations = ts + tw * nws_f + th * hops_a
-                        else:
-                            durations = ts + (tw * nws_f + th) * hops_a
-                        busys = ts + tw * nws_f
-                        arrivals = starts + durations
+                        busys, arrivals = message_times(
+                            self.machine, starts, nws_f, hops_a
+                        )
                         ends = starts + busys
                         msgs_arr[idx] += 1
                         words_arr[idx] += nws
@@ -1025,8 +1114,6 @@ class Engine:
         wakeups walk the messages in the same order as the scalar path.
         """
         machine = self.machine
-        ts, tw, th = machine.ts, machine.tw, machine.th
-        cut_through = machine.routing == "ct"
         mail = self._mail
         waiting = self._waiting
         tracing = self.trace.enabled
@@ -1050,13 +1137,10 @@ class Engine:
         flat_src = np.repeat(idx.astype(np.int64), k)
         hops_a = hop_cache.bulk(flat_src, flat_dst)
         nws_f = flat_nw.astype(np.float64)
-        if cut_through:
-            durations = ts + tw * nws_f + th * hops_a
-        else:
-            durations = ts + (tw * nws_f + th) * hops_a
-        busy_m = ts + tw * nws_f
+        busy_m, arrivals = message_times(
+            machine, np.repeat(starts, k), nws_f, hops_a
+        )
         busy_rank = busy_m.reshape(nb, k).max(axis=1)
-        arrivals = np.repeat(starts, k) + durations
         ends = starts + busy_rank
         arr.messages_sent[idx] += k
         arr.words_sent[idx] += flat_nw.reshape(nb, k).sum(axis=1)
@@ -1424,6 +1508,7 @@ def run_spmd(
     scheduler: str | None = None,
     macro_collectives: bool | None = None,
     fault_plan: FaultPlan | None = None,
+    symmetry: SymmetrySpec | None = None,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`Engine`."""
     return Engine(
@@ -1433,4 +1518,5 @@ def run_spmd(
         scheduler=scheduler,
         macro_collectives=macro_collectives,
         fault_plan=fault_plan,
+        symmetry=symmetry,
     ).run(factory)

@@ -37,12 +37,13 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.core.machine import MachineParams
+from repro.simulator.charging import message_times, recv_wait_times
 from repro.simulator.errors import ProgramError
-from repro.simulator.request import CollectiveOp, words_of
-from repro.simulator.topology import Topology
+from repro.simulator.request import CollectiveOp, SymCollective, words_of
+from repro.simulator.topology import PairHopCache, Topology
 from repro.simulator.trace import RankArrays
 
-__all__ = ["run_collective"]
+__all__ = ["run_collective", "run_batch_collective", "BATCH_KINDS"]
 
 
 class _Charger:
@@ -57,7 +58,6 @@ class _Charger:
 
     __slots__ = (
         "machine", "topology", "order",
-        "ts", "tw", "th", "ct",
         "clock", "compute", "send_t", "recv_w", "msgs", "words",
     )
 
@@ -67,8 +67,6 @@ class _Charger:
         self.machine = machine
         self.topology = topology
         self.order = order  # gathered position -> absolute rank
-        self.ts, self.tw, self.th = machine.ts, machine.tw, machine.th
-        self.ct = machine.routing == "ct"
         # fancy indexing gathers copies; scatter() writes them back
         self.clock = arr.clock[order]
         self.compute = arr.compute_time[order]
@@ -85,12 +83,7 @@ class _Charger:
         sender advances by its injection time.
         """
         hops = np.maximum(self.topology.distances(self.order[s], self.order[dst]), 1)
-        busy = self.ts + self.tw * m
-        if self.ct:
-            duration = self.ts + self.tw * m + self.th * hops
-        else:
-            duration = self.ts + (self.tw * m + self.th) * hops
-        arrival = self.clock[s] + duration
+        busy, arrival = message_times(self.machine, self.clock[s], m, hops)
         self.clock[s] += busy
         self.send_t[s] += busy
         self.msgs[s] += 1
@@ -99,9 +92,9 @@ class _Charger:
 
     def recv(self, r: np.ndarray, arrival: np.ndarray) -> None:
         """Complete receives on ranks *r* for messages arriving at *arrival*."""
-        gap = arrival - self.clock[r]
-        self.recv_w[r] += np.where(gap > 0.0, gap, 0.0)
-        self.clock[r] = np.maximum(self.clock[r], arrival)
+        waited, advanced = recv_wait_times(self.clock[r], arrival)
+        self.recv_w[r] += waited
+        self.clock[r] = advanced
 
     def scatter(self, arr: RankArrays) -> None:
         arr.clock[self.order] = self.clock
@@ -323,3 +316,148 @@ def run_collective(
             out[(rel + root) % g] = result[rel]
         return out
     return result
+
+
+# -- batch (cross-group) executors for the trace compiler ----------------------
+#
+# A compiled schedule (:mod:`repro.simulator.compile`) knows that every
+# group of a symmetry axis executes the *same* collective at the same
+# program step, so instead of one `run_collective` call per group it
+# charges all G groups of the ``(G, g)`` partition matrix at once.  The
+# per-rank arithmetic is the same elementwise expressions the per-group
+# executors evaluate (via the shared :mod:`repro.simulator.charging`
+# helpers), just over matrices instead of vectors — which is what keeps
+# the compiled path bit-identical to the macro path, and transitively to
+# the message-level reference.
+#
+# Only payload-structure-independent kinds are supported: ``bcast`` and
+# ``reduce`` move and merge real payload objects, which a replay without
+# live generators cannot produce, so the compiler falls back to ``heap``
+# for programs that post them.
+
+BATCH_KINDS = ("shift", "allgather_rd", "allgather_ring", "reduce_scatter")
+
+
+class _BatchCharger:
+    """Vectorized cost model over the gathered ``(G, g)`` group matrix."""
+
+    __slots__ = ("machine", "hop_cache", "mat",
+                 "clock", "compute", "send_t", "recv_w", "msgs", "words")
+
+    def __init__(
+        self, arr: RankArrays, topology: Topology, machine: MachineParams, mat: np.ndarray
+    ) -> None:
+        self.machine = machine
+        self.hop_cache = PairHopCache.shared(topology)
+        self.mat = mat  # (G, g): group row -> absolute ranks in group order
+        self.clock = arr.clock[mat]
+        self.compute = arr.compute_time[mat]
+        self.send_t = arr.send_time[mat]
+        self.recv_w = arr.recv_wait_time[mat]
+        self.msgs = arr.messages_sent[mat]
+        self.words = arr.words_sent[mat]
+
+    def send(self, dst_pos: np.ndarray, m: Any) -> np.ndarray:
+        """Every rank sends *m* words to the rank at ``dst_pos[col]`` of its own
+        group; returns the (G, g) arrival matrix indexed by sender position."""
+        dst = self.mat[:, dst_pos]
+        hops = self.hop_cache.bulk(
+            self.mat.ravel(), dst.ravel()
+        ).reshape(self.mat.shape)
+        busy, arrival = message_times(self.machine, self.clock, m, hops)
+        self.clock += busy
+        self.send_t += busy
+        self.msgs += 1
+        self.words += m
+        return arrival
+
+    def recv(self, arrival: np.ndarray) -> None:
+        """Complete receives for messages arriving at *arrival* (receiver order)."""
+        waited, advanced = recv_wait_times(self.clock, arrival)
+        self.recv_w += waited
+        self.clock = advanced
+
+    def charge_compute(self, cost: np.ndarray) -> None:
+        self.compute = self.compute + cost
+        self.clock = self.clock + cost
+
+    def scatter(self, arr: RankArrays) -> None:
+        arr.clock[self.mat] = self.clock
+        arr.compute_time[self.mat] = self.compute
+        arr.send_time[self.mat] = self.send_t
+        arr.recv_wait_time[self.mat] = self.recv_w
+        arr.messages_sent[self.mat] = self.msgs
+        arr.words_sent[self.mat] = self.words
+
+
+def _batch_shift(bc: _BatchCharger, g: int, m: int, offset: int) -> None:
+    idx = np.arange(g)
+    dst = (idx + offset) % g
+    src = (idx - offset) % g
+    arrival = bc.send(dst, m)
+    bc.recv(arrival[:, src])
+
+
+def _batch_allgather_rd(bc: _BatchCharger, g: int, m: int, w: int) -> None:
+    idx = np.arange(g)
+    for k in range(g.bit_length() - 1):
+        step = 1 << k
+        partner = idx ^ step
+        # uniform sizes: every held block sums to w*step words
+        pay = w * step - w + m
+        arrival = bc.send(partner, pay)
+        bc.recv(arrival[:, partner])
+
+
+def _batch_allgather_ring(bc: _BatchCharger, g: int, m: int) -> None:
+    idx = np.arange(g)
+    right = (idx + 1) % g
+    left = (idx - 1) % g
+    for _ in range(g - 1):
+        arrival = bc.send(right, m)
+        bc.recv(arrival[:, left])
+
+
+def _batch_reduce_scatter(bc: _BatchCharger, g: int, size: int, charge_adds: bool) -> None:
+    idx = np.arange(g)
+    lo = np.zeros(g, dtype=np.int64)
+    hi = np.full(g, size, dtype=np.int64)
+    block = g
+    while block > 1:
+        half = block // 2
+        mid = lo + (hi - lo) // 2
+        in_low = (idx % block) < half
+        partner = np.where(in_low, idx + half, idx - half)
+        send_sz = np.where(in_low, hi - mid, mid - lo)
+        keep_sz = np.where(in_low, mid - lo, hi - mid)
+        arrival = bc.send(partner, send_sz)
+        bc.recv(arrival[:, partner])
+        if charge_adds:
+            bc.charge_compute(keep_sz.astype(np.float64))
+        hi = np.where(in_low, mid, hi)
+        lo = np.where(in_low, lo, mid)
+        block = half
+
+
+def run_batch_collective(
+    phase: SymCollective,
+    arr: RankArrays,
+    topology: Topology,
+    machine: MachineParams,
+) -> None:
+    """Charge one compiled collective phase across every group of its axis."""
+    kind = phase.kind
+    if kind not in BATCH_KINDS:
+        raise ProgramError(f"collective kind {kind!r} has no batch executor")
+    mat = phase.groups
+    g = int(mat.shape[1])
+    bc = _BatchCharger(arr, topology, machine, mat)
+    if kind == "shift":
+        _batch_shift(bc, g, phase.nwords, phase.offset)
+    elif kind == "allgather_rd":
+        _batch_allgather_rd(bc, g, phase.nwords, phase.payload_words)
+    elif kind == "allgather_ring":
+        _batch_allgather_ring(bc, g, phase.nwords)
+    else:
+        _batch_reduce_scatter(bc, g, phase.flat_size, phase.charge_adds)
+    bc.scatter(arr)

@@ -37,6 +37,13 @@ __all__ = [
     "CollectiveOp",
     "Request",
     "words_of",
+    "SymCompute",
+    "SymSend",
+    "SymSendAll",
+    "SymRecv",
+    "SymBarrier",
+    "SymCollective",
+    "SymPhase",
 ]
 
 
@@ -174,3 +181,86 @@ class CollectiveOp:
 
 
 Request = Compute | Send | SendAll | Recv | Barrier | Checkpoint | CollectiveOp
+
+
+# -- symbolic descriptors (trace compilation) ----------------------------------
+#
+# The record→replay compiler (:mod:`repro.simulator.compile`) lowers the
+# request stream of a probe rank into one *symbolic* descriptor per
+# program step.  Where a plain request carries one rank's scalar fields,
+# a symbolic descriptor carries the whole machine's: peer and hop fields
+# are numpy vectors indexed by rank, sizes and costs are scalars shared
+# by every rank (rank symmetry is what makes compilation legal in the
+# first place).  A compiled schedule is simply a list of these phases;
+# replaying it charges each phase as one vectorized update into
+# :class:`~repro.simulator.trace.RankArrays` with zero generator
+# resumes.
+
+
+@dataclass(slots=True)
+class SymCompute:
+    """All ranks charge the same *cost* units of local computation."""
+
+    cost: float
+
+
+@dataclass(slots=True)
+class SymSend:
+    """Every rank sends *nwords* words to ``dst[rank]`` (hops precomputed).
+
+    ``arrival`` is filled in during replay with the per-sender arrival
+    vector; the matched :class:`SymRecv` phase reads it back through its
+    source-rank vector.
+    """
+
+    dst: np.ndarray
+    hops: np.ndarray
+    nwords: int
+    tag: int = 0
+    arrival: np.ndarray | None = None
+
+
+@dataclass(slots=True)
+class SymSendAll:
+    """Every rank posts the same multi-message injection (one :class:`SymSend` per port)."""
+
+    parts: tuple[SymSend, ...]
+
+
+@dataclass(slots=True)
+class SymRecv:
+    """Every rank receives from ``src[rank]`` the message sent in phase *source*."""
+
+    src: np.ndarray
+    tag: int = 0
+    source: SymSend | None = None
+
+
+@dataclass(slots=True)
+class SymBarrier:
+    """All clocks jump to the global maximum."""
+
+    label: str = ""
+
+
+@dataclass(slots=True)
+class SymCollective:
+    """Every rank takes part in a macro collective over its row of *groups*.
+
+    *groups* is the ``(G, g)`` rank matrix of one symmetry axis: each row
+    is one ordered collective group, the rows partition the machine, and
+    every group executes the same collective at this phase.  The batch
+    executors in :mod:`repro.simulator.macro` charge all ``G`` groups at
+    once.
+    """
+
+    kind: str
+    groups: np.ndarray
+    nwords: int = 0
+    payload_words: int = 0
+    offset: int = 0
+    charge_adds: bool = True
+    flat_size: int = 0
+
+
+SymPhase = SymCompute | SymSend | SymSendAll | SymRecv | SymBarrier | SymCollective

@@ -23,7 +23,9 @@ neighbors (distance 1).
 from __future__ import annotations
 
 import math
+import weakref
 from abc import ABC, abstractmethod
+from typing import ClassVar
 
 import numpy as np
 
@@ -268,6 +270,24 @@ class PairHopCache:
         if hops is None:
             hops = pairs[(a, b)] = max(self._topology.distance(a, b), 1)
         return hops
+
+    _shared: ClassVar["weakref.WeakKeyDictionary[Topology, PairHopCache]"] = (
+        weakref.WeakKeyDictionary()
+    )
+
+    @classmethod
+    def shared(cls, topology: "Topology") -> "PairHopCache":
+        """The process-wide cache for *topology* (one per topology instance).
+
+        Engines and the trace compiler route their hop lookups through
+        this accessor so memoized scalar-topology tables survive across
+        Engine instances instead of being rebuilt per run.  Entries are
+        weakly keyed: dropping the topology drops its cache.
+        """
+        cache = cls._shared.get(topology)
+        if cache is None:
+            cache = cls._shared[topology] = cls(topology)
+        return cache
 
 
 def square_side(p: int) -> int:

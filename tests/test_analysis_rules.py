@@ -36,6 +36,7 @@ def test_rule_catalogue_is_complete():
         "MOD001", "MOD002", "MOD003",
         "DIM001", "DIM002",
         "ENG001", "ENG002", "ENG003", "ENG004", "ENG005", "ENG006", "ENG007",
+        "ENG008",
         "CACHE001", "SWEEP001", "DRIVER001",
     }
     for rule in RULES.values():
@@ -576,6 +577,52 @@ def test_eng006_engine_source_is_clean():
     assert "ENG006" not in {
         f.rule_id for f in analyze_source(source, SIM_PATH)
     }
+
+
+# -- ENG008: compiled-path charging goes through the shared helpers -----------------
+
+COMPILE_PATH = "src/repro/simulator/compile.py"
+MACRO_PATH = "src/repro/simulator/macro.py"
+
+
+@pytest.mark.parametrize("path", [COMPILE_PATH, MACRO_PATH])
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "cost = machine.ts + machine.tw * nwords",
+        "start = clock + machine.th * hops",
+        "t = machine.transfer_time(nwords, hops)",
+        "busy = machine.sender_busy_time(nwords, hops)",
+    ],
+)
+def test_eng008_flags_raw_charging_in_replay_modules(snippet, path):
+    assert "ENG008" in rule_ids(snippet, path=path)
+
+
+def test_eng008_allows_shared_helpers():
+    code = """\
+    from repro.simulator.charging import message_times, recv_wait_times
+
+    def charge(machine, nwords, hops):
+        return message_times(machine, nwords, hops)
+    """
+    assert "ENG008" not in rule_ids(code, path=COMPILE_PATH)
+
+
+def test_eng008_scoped_to_replay_modules():
+    # the generator schedulers and the charging module itself legitimately
+    # read the raw machine constants
+    code = "cost = machine.ts + machine.tw * nwords"
+    assert "ENG008" not in rule_ids(code, path=SIM_PATH)
+    assert "ENG008" not in rule_ids(code, path="src/repro/simulator/charging.py")
+    assert "ENG008" not in rule_ids(code, path=ANY_PATH)
+
+
+@pytest.mark.parametrize("path", [COMPILE_PATH, MACRO_PATH])
+def test_eng008_replay_sources_are_clean(path):
+    with open(path) as fh:
+        source = fh.read()
+    assert "ENG008" not in {f.rule_id for f in analyze_source(source, path)}
 
 
 # -- suppressions and selection -----------------------------------------------------

@@ -1,0 +1,97 @@
+"""The bench-compare regression gate (``make bench-compare``)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+_SCRIPT = os.path.join(os.path.dirname(__file__), "..", "benchmarks", "bench_compare.py")
+
+
+def _report(fast=False, **speedups):
+    rep = {"meta": {"fast": fast, "git_sha": "abc"}}
+    for path, value in speedups.items():
+        node = rep
+        parts = path.split("__")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = value
+    return rep
+
+
+def _run(tmp_path, base, new, *flags):
+    bp = tmp_path / "base.json"
+    np_ = tmp_path / "new.json"
+    bp.write_text(json.dumps(base))
+    np_.write_text(json.dumps(new))
+    return subprocess.run(
+        [sys.executable, _SCRIPT, str(bp), str(np_), *flags],
+        capture_output=True, text=True,
+    )
+
+
+def test_no_regression_passes(tmp_path):
+    base = _report(engine__speedup=2.0, sweep__pipeline_speedup=4.0)
+    new = _report(engine__speedup=1.95, sweep__pipeline_speedup=4.5)
+    proc = _run(tmp_path, base, new)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_regression_beyond_10pct_fails(tmp_path):
+    base = _report(engine__speedup=2.0)
+    new = _report(engine__speedup=1.7)  # -15%
+    proc = _run(tmp_path, base, new)
+    assert proc.returncode == 1
+    assert "REGRESSION" in proc.stdout
+
+
+def test_within_tolerance_passes(tmp_path):
+    base = _report(engine__speedup=2.0)
+    new = _report(engine__speedup=1.85)  # -7.5%
+    proc = _run(tmp_path, base, new)
+    assert proc.returncode == 0
+
+
+def test_new_and_retired_sections_are_skipped(tmp_path):
+    base = _report(old_section__speedup=10.0, engine__speedup=2.0)
+    new = _report(new_section__speedup=0.1, engine__speedup=2.0)
+    proc = _run(tmp_path, base, new)
+    assert proc.returncode == 0
+    assert "only in base" in proc.stdout
+    assert "only in new" in proc.stdout
+
+
+def test_fast_mismatch_warns_instead_of_failing(tmp_path):
+    base = _report(fast=False, engine__speedup=2.0)
+    new = _report(fast=True, engine__speedup=1.0)
+    proc = _run(tmp_path, base, new)
+    assert proc.returncode == 0
+    assert "WARNING" in proc.stdout
+    strict = _run(tmp_path, base, new, "--strict")
+    assert strict.returncode == 1
+
+
+def test_non_speedup_leaves_ignored(tmp_path):
+    base = _report(engine__speedup=2.0)
+    base["engine"]["rescan_s"] = 100.0
+    new = _report(engine__speedup=2.0)
+    new["engine"]["rescan_s"] = 1.0
+    proc = _run(tmp_path, base, new)
+    assert proc.returncode == 0
+    assert "rescan_s" not in proc.stdout
+
+
+def test_compare_function_importable():
+    sys.path.insert(0, os.path.dirname(_SCRIPT))
+    try:
+        from bench_compare import compare
+
+        diff = compare(
+            {"a": {"speedup": 2.0}}, {"a": {"speedup": 1.0}}, tolerance=0.1
+        )
+        assert len(diff["regressions"]) == 1
+    finally:
+        sys.path.pop(0)

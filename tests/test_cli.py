@@ -139,3 +139,43 @@ class TestGanttCommand:
     def test_gantt_infeasible(self):
         with pytest.raises(SystemExit):
             main(["gantt", "cannon", "-n", "2", "-p", "64"])
+
+
+class TestSchedulerChoices:
+    """Both CLIs enumerate schedulers from engine.SCHEDULERS, not a
+    hard-coded list — adding a scheduler must surface everywhere at once."""
+
+    def test_run_parser_choices_match_engine(self):
+        from repro.simulator.engine import SCHEDULERS
+
+        parser = build_parser()
+        run_sub = next(
+            a for a in parser._subparsers._group_actions[0].choices["run"]._actions
+            if getattr(a, "dest", "") == "scheduler"
+        )
+        assert tuple(run_sub.choices) == SCHEDULERS
+
+    def test_experiments_parser_choices_match_engine(self):
+        import subprocess
+        import sys
+
+        from repro.simulator.engine import SCHEDULERS
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "--help"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        for name in SCHEDULERS:
+            assert name in proc.stdout
+
+    def test_run_compiled_scheduler_skips_verification(self, capsys):
+        assert main(["run", "cannon", "-n", "16", "-p", "16",
+                     "--scheduler", "compiled"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped (trace-compiled run, timing only)" in out
+
+    def test_run_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            main(["run", "cannon", "-n", "16", "-p", "16",
+                  "--scheduler", "warp"])

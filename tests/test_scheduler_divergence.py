@@ -105,4 +105,4 @@ def test_ready_and_rescan_identical_on_cm5_configs(
 def test_scheduler_default_is_ready():
     """The fast path is the default; rescan stays the reference."""
     assert engine_mod.DEFAULT_SCHEDULER == "ready"
-    assert engine_mod.SCHEDULERS == ("ready", "rescan", "heap")
+    assert engine_mod.SCHEDULERS == ("ready", "rescan", "heap", "compiled")
