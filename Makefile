@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke bench-compare experiments examples lint resilience-smoke scale-16k-smoke scale-64k-smoke clean
+.PHONY: install test bench bench-smoke bench-compare experiments examples lint resilience-smoke scale-16k-smoke scale-64k-smoke campaign-smoke clean
 
 install:
 	pip install -e ".[test]"
@@ -66,6 +66,16 @@ scale-16k-smoke:
 # test suite and perf guard.
 scale-64k-smoke:
 	python -m repro.experiments scaling-large --p-values 65536 --n0 2 --no-verify --no-disk-cache
+
+# A seeded autopilot battery through the campaign runner: every anomaly
+# oracle armed (including the alternate-scheduler cross-check), exit
+# non-zero on any finding.  Fully reproducible — the same seed yields
+# byte-identical CAMPAIGN.jsonl / CAMPAIGN.report.json; both (plus the
+# derived SQLite index) are uploaded as CI artifacts.
+campaign-smoke:
+	rm -f CAMPAIGN.jsonl CAMPAIGN.sqlite CAMPAIGN.report.json
+	python -m repro campaign autopilot --seed 2024 --count 40 \
+		--profile smoke --db CAMPAIGN --fail-on-anomaly
 
 examples:
 	python examples/quickstart.py

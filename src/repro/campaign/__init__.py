@@ -1,0 +1,56 @@
+"""Scenario batteries and autopilot anomaly campaigns.
+
+The campaign layer turns the simulator into a self-testing instrument:
+
+* :mod:`repro.campaign.schema` — the frozen, validated scenario
+  description (machine × topology × algorithms × fault plan × grid ×
+  scheduler × seed) with content-addressed scenario IDs;
+* :mod:`repro.campaign.executor` — one scenario in, one deterministic
+  result record out;
+* :mod:`repro.campaign.oracles` — the invariant catalogue that defines
+  "anomalous";
+* :mod:`repro.campaign.database` — the crash-safe, byte-deterministic
+  JSONL run database with a derived SQLite index;
+* :mod:`repro.campaign.runner` — battery execution with watchdog,
+  bounded retry, and exact resume;
+* :mod:`repro.campaign.autopilot` — seeded random scenario generation;
+* :mod:`repro.campaign.report` — the anomaly-report artifact.
+
+See ``docs/robustness.md`` for the schema reference and the oracle
+catalogue.
+"""
+
+from repro.campaign.autopilot import AutopilotProfile, PROFILES, generate_battery, generate_scenario
+from repro.campaign.database import CampaignDB, battery_fingerprint
+from repro.campaign.executor import execute_scenario
+from repro.campaign.oracles import ORACLES, OracleConfig, check_scenario
+from repro.campaign.report import build_report, format_text, write_report
+from repro.campaign.runner import CampaignSummary, run_campaign
+from repro.campaign.schema import (
+    SCHEMA_VERSION,
+    Scenario,
+    scenario_from_dict,
+    scenarios_from_json,
+)
+
+__all__ = [
+    "AutopilotProfile",
+    "PROFILES",
+    "generate_battery",
+    "generate_scenario",
+    "CampaignDB",
+    "battery_fingerprint",
+    "execute_scenario",
+    "ORACLES",
+    "OracleConfig",
+    "check_scenario",
+    "build_report",
+    "format_text",
+    "write_report",
+    "CampaignSummary",
+    "run_campaign",
+    "SCHEMA_VERSION",
+    "Scenario",
+    "scenario_from_dict",
+    "scenarios_from_json",
+]

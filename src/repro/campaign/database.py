@@ -1,0 +1,299 @@
+"""The campaign run database: append-only JSONL with a derived SQLite index.
+
+The JSONL file is the source of truth and is engineered for two
+properties at once:
+
+* **Crash safety** — every record is one line, flushed on append.  A
+  ``SIGKILL`` can leave at most one truncated line at the tail;
+  :meth:`CampaignDB.open_for_run` repairs it (``os.truncate`` back to
+  the last intact line boundary) and warns, so a resumed campaign
+  appends onto clean bytes.
+* **Byte determinism** — records carry no timestamps, are serialized as
+  compact sorted-keys JSON, and the runner appends them in battery
+  order.  A campaign resumed after a kill therefore produces a JSONL
+  file *byte-identical* to the uninterrupted run — ``fingerprint()``
+  makes that checkable in one call.
+
+The SQLite file is a queryable index *derived* from the JSONL
+(:meth:`sync_sqlite` rebuilds it wholesale, atomically via a temp file
+and ``os.replace``).  It is never read back to drive execution, so
+losing or corrupting it costs nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import warnings
+from collections.abc import Iterator
+from pathlib import Path
+from typing import Any
+
+from repro.core.cache import CorruptArtifactWarning, canonical_fingerprint
+
+__all__ = ["CampaignDB", "DB_VERSION", "battery_fingerprint"]
+
+#: Bump on any change to the header or record layout.
+DB_VERSION = 1
+
+#: Header keys that must match for a resume to be legal.
+_PINNED = ("battery", "count", "oracles", "source")
+
+
+class CampaignDB:
+    """One campaign's run database: ``<prefix>.jsonl`` + ``<prefix>.sqlite``.
+
+    The first JSONL line is a header pinning the battery identity
+    (scenario-set fingerprint, scenario count, oracle tolerances, and
+    the battery's source — autopilot seed or scenario file) so a resume
+    against the wrong battery fails loudly instead of silently merging
+    incompatible records.
+    """
+
+    def __init__(self, prefix: str | Path) -> None:
+        self.prefix = Path(prefix)
+        self.jsonl_path = self.prefix.with_name(self.prefix.name + ".jsonl")
+        self.sqlite_path = self.prefix.with_name(self.prefix.name + ".sqlite")
+        self.report_path = self.prefix.with_name(self.prefix.name + ".report.json")
+        self.header: dict[str, Any] | None = None
+
+    # -- writing ----------------------------------------------------------------------
+
+    @staticmethod
+    def make_header(
+        *, battery: str, count: int, oracles: dict[str, Any], source: dict[str, Any]
+    ) -> dict[str, Any]:
+        return {
+            "kind": "campaign-db",
+            "version": DB_VERSION,
+            "battery": battery,
+            "count": count,
+            "oracles": oracles,
+            "source": source,
+        }
+
+    def open_for_run(
+        self, header: dict[str, Any], *, resume: bool
+    ) -> dict[str, dict[str, Any]]:
+        """Prepare the JSONL file for appending; return records already done.
+
+        Fresh runs (``resume=False``) refuse to clobber an existing
+        database.  Resumes validate the stored header against *header*
+        (the battery being resumed must be the same battery), salvage
+        the readable prefix, repair a truncated tail, and return the
+        completed records keyed by scenario ID so the runner can skip
+        them exactly.
+        """
+        if not resume:
+            if self.jsonl_path.exists():
+                raise FileExistsError(
+                    f"campaign database {self.jsonl_path} already exists; "
+                    "use resume to continue it, or pick a fresh --db prefix"
+                )
+            self.jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.jsonl_path, "w") as fh:
+                fh.write(_dumps(header) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            self.header = header
+            return {}
+
+        if not self.jsonl_path.exists():
+            raise FileNotFoundError(
+                f"cannot resume: campaign database {self.jsonl_path} does not "
+                "exist; run without resume to start it"
+            )
+        stored, done = self._salvage()
+        for key in _PINNED:
+            if stored.get(key) != header.get(key):
+                raise ValueError(
+                    f"campaign database {self.jsonl_path} belongs to a different "
+                    f"battery: header field {key!r} is {stored.get(key)!r} on disk "
+                    f"but {header.get(key)!r} for this run; resume with the same "
+                    "scenarios, seed, and oracle tolerances, or use a fresh --db"
+                )
+        self.header = stored
+        return done
+
+    def _salvage(self) -> tuple[dict[str, Any], dict[str, dict[str, Any]]]:
+        """Read the JSONL up to the first corrupt line; repair by truncation.
+
+        Records are appended in battery order, so the intact prefix is
+        always a valid resume point.  Truncating at the first corrupt
+        byte (a SIGKILL-torn tail or a flipped interior line) and
+        re-running everything after it is what makes the resumed file
+        byte-identical to an uninterrupted run.
+        """
+        done: dict[str, dict[str, Any]] = {}
+        header: dict[str, Any] | None = None
+        good_end = 0
+        corrupt = False
+        with open(self.jsonl_path, "rb") as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                intact = raw.endswith(b"\n")
+                try:
+                    doc = json.loads(raw.decode())
+                    if not isinstance(doc, dict):
+                        raise ValueError(f"expected an object, got {type(doc).__name__}")
+                except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+                    corrupt = True
+                    warnings.warn(
+                        f"campaign database {self.jsonl_path} line {lineno} is "
+                        f"corrupt ({exc}); dropping it and everything after — "
+                        "those scenarios will re-run on resume",
+                        CorruptArtifactWarning,
+                        stacklevel=3,
+                    )
+                    break
+                if not intact:
+                    # Complete JSON but no newline: the append was torn
+                    # mid-flush.  Rewrite it from scratch for clean bytes.
+                    corrupt = True
+                    warnings.warn(
+                        f"campaign database {self.jsonl_path} line {lineno} has "
+                        "a torn tail (missing newline); dropping it — the "
+                        "scenario will re-run on resume",
+                        CorruptArtifactWarning,
+                        stacklevel=3,
+                    )
+                    break
+                if lineno == 1:
+                    if doc.get("kind") != "campaign-db" or doc.get("version") != DB_VERSION:
+                        raise ValueError(
+                            f"{self.jsonl_path} is not a version-{DB_VERSION} campaign "
+                            f"database (header {doc!r}); it cannot be resumed"
+                        )
+                    header = doc
+                elif "id" in doc and doc.get("status") in ("ok", "anomalous", "failed"):
+                    done[doc["id"]] = doc
+                good_end = fh.tell()
+        if header is None:
+            raise ValueError(
+                f"campaign database {self.jsonl_path} has no readable header; "
+                "it cannot be resumed — start a fresh campaign with a new --db"
+            )
+        if corrupt:
+            os.truncate(self.jsonl_path, good_end)
+        return header, done
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Append one scenario record as a single flushed line."""
+        with open(self.jsonl_path, "a") as fh:
+            fh.write(_dumps(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # -- reading ----------------------------------------------------------------------
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Yield every intact scenario record (header excluded)."""
+        with open(self.jsonl_path, "rb") as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                if lineno == 1 or not raw.endswith(b"\n"):
+                    continue
+                try:
+                    doc = json.loads(raw.decode())
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    continue
+                if isinstance(doc, dict) and "id" in doc:
+                    yield doc
+
+    def read_header(self) -> dict[str, Any]:
+        with open(self.jsonl_path, "rb") as fh:
+            doc = json.loads(fh.readline().decode())
+        if not isinstance(doc, dict) or doc.get("kind") != "campaign-db":
+            raise ValueError(f"{self.jsonl_path} is not a campaign database")
+        return doc
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the JSONL bytes — the whole-campaign identity."""
+        h = hashlib.sha256()
+        with open(self.jsonl_path, "rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 16), b""):
+                h.update(chunk)
+        return h.hexdigest()
+
+    # -- derived SQLite index ---------------------------------------------------------
+
+    def sync_sqlite(self) -> None:
+        """Rebuild the SQLite index from the JSONL, atomically.
+
+        Deterministic: the same JSONL always produces the same logical
+        database (rows inserted in file order, fixed schema).
+        """
+        tmp = self.sqlite_path.with_name(self.sqlite_path.name + ".tmp")
+        tmp.unlink(missing_ok=True)
+        con = sqlite3.connect(tmp)
+        try:
+            con.executescript(
+                """
+                CREATE TABLE scenarios (
+                    idx        INTEGER PRIMARY KEY,
+                    id         TEXT NOT NULL,
+                    name       TEXT NOT NULL,
+                    status     TEXT NOT NULL,
+                    attempts   INTEGER NOT NULL,
+                    rows       INTEGER NOT NULL,
+                    anomalies  INTEGER NOT NULL,
+                    error      TEXT,
+                    record     TEXT NOT NULL
+                );
+                CREATE INDEX scenarios_by_id ON scenarios (id);
+                CREATE TABLE anomalies (
+                    scenario_idx INTEGER NOT NULL REFERENCES scenarios (idx),
+                    oracle       TEXT NOT NULL,
+                    severity     TEXT NOT NULL,
+                    algorithm    TEXT,
+                    n            INTEGER,
+                    p            INTEGER,
+                    message      TEXT NOT NULL
+                );
+                CREATE INDEX anomalies_by_oracle ON anomalies (oracle);
+                """
+            )
+            for rec in self.records():
+                con.execute(
+                    "INSERT INTO scenarios VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        rec["index"],
+                        rec["id"],
+                        rec.get("name", ""),
+                        rec["status"],
+                        rec.get("attempts", 1),
+                        len(rec.get("rows") or ()),
+                        len(rec.get("anomalies") or ()),
+                        rec.get("error"),
+                        _dumps(rec),
+                    ),
+                )
+                for anom in rec.get("anomalies") or ():
+                    con.execute(
+                        "INSERT INTO anomalies VALUES (?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            rec["index"],
+                            anom["oracle"],
+                            anom["severity"],
+                            anom.get("algorithm"),
+                            anom.get("n"),
+                            anom.get("p"),
+                            anom["message"],
+                        ),
+                    )
+            con.commit()
+        finally:
+            con.close()
+        os.replace(tmp, self.sqlite_path)
+
+
+def _dumps(doc: dict[str, Any]) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def battery_fingerprint(scenario_ids: list[str], oracles: dict[str, Any]) -> str:
+    """Content address of a battery: the scenario set plus how it is judged."""
+    return canonical_fingerprint(
+        {"kind": "campaign-battery", "scenarios": scenario_ids, "oracles": oracles},
+        salt="repro-campaign",
+    )

@@ -1,0 +1,239 @@
+"""Invariant oracles: what "anomalous" means for a scenario run.
+
+An oracle is a predicate over a scenario's simulation rows that should
+hold for *every* valid scenario, regardless of machine, algorithm, or
+fault plan.  The autopilot (:mod:`repro.campaign.autopilot`) randomizes
+scenarios precisely to hunt for oracle violations; the campaign runner
+records every violation in the run database and the anomaly report.
+
+The catalogue (see ``docs/robustness.md`` for the rationale of each):
+
+``fault-signature``
+    The run raised a deadlock / unrecoverable-fault / fatal-crash
+    signature.  The simulated algorithms are deadlock-free and the
+    autopilot only generates survivable plans, so any of these is a
+    finding (severity ``error``).
+``numerical-mismatch``
+    The product differed from ``A @ B``.  Faults perturb *time*, never
+    payloads — this must never fire (``error``).
+``scheduler-divergence``
+    The same point under an alternate scheduler produced a different
+    ``T_p`` / message count / retransmit count.  The schedulers are
+    bit-identical by contract (``error``).
+``model-disagreement``
+    On a fault-free scenario, simulated and modeled ``T_p`` differ by
+    more than ``model_rel_tol`` relative (``warn``).  The analytic
+    models idealize (no port contention, negligible alignment), so the
+    default tolerance is calibrated loose; tighten it per campaign to
+    hunt drift.
+``non-monotone-efficiency``
+    On a fault-free scenario, efficiency *increased* with ``p`` at fixed
+    ``(algorithm, n)`` by more than ``monotone_tol`` relative — i.e.
+    superlinear speedup, which the cost model cannot legitimately
+    produce (``error``).
+``retransmit-storm``
+    Retransmissions exploded beyond ``storm_factor`` times the expected
+    count for the plan's drop rate (or appeared with no drops at all) —
+    the signature of a backoff/accounting bug (``warn``; the no-drops
+    case is ``error``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.campaign.schema import Scenario
+
+__all__ = ["ORACLES", "OracleConfig", "check_scenario"]
+
+#: Every oracle name, in report order.
+ORACLES = (
+    "fault-signature",
+    "numerical-mismatch",
+    "scheduler-divergence",
+    "model-disagreement",
+    "non-monotone-efficiency",
+    "retransmit-storm",
+)
+
+#: Row fields that must match bit-for-bit across schedulers.
+_DIVERGENCE_FIELDS = (
+    "T_sim", "messages", "words", "retransmits", "faults_injected",
+    "checkpoint_time", "recovery_time", "outcome",
+)
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Tolerances of the oracle battery (frozen: part of a campaign's
+    identity, pinned in the run-database header so a resumed campaign
+    judges scenarios exactly like the original)."""
+
+    model_rel_tol: float = 1.0
+    """Max ``|T_sim - T_model| / T_model`` on fault-free runs.  The
+    models drop lower-order terms the simulator charges (and vice
+    versa), so small-n points legitimately sit tens of percent off;
+    the default is calibrated so the seeded autopilot battery is clean.
+    Tighten per campaign (``--model-tol``) to hunt model drift."""
+
+    monotone_tol: float = 1e-9
+    """Relative slack before an efficiency increase in ``p`` counts as
+    superlinear.  Near machine epsilon: true non-monotonicity is a bug,
+    the slack only absorbs float noise."""
+
+    storm_factor: float = 8.0
+    """Retransmit count allowed as a multiple of the expected count
+    ``messages * drop_rate / (1 - drop_rate)`` (plus a small-count
+    floor) before the storm oracle fires."""
+
+    divergence: bool = True
+    """Cross-check every point on an alternate scheduler (doubles the
+    simulation cost of a scenario)."""
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.model_rel_tol, float) and self.model_rel_tol > 0.0):
+            raise ValueError(
+                f"model_rel_tol must be a float > 0 (relative T_p tolerance), "
+                f"got {self.model_rel_tol!r}; e.g. model_rel_tol=1.0"
+            )
+        if not (isinstance(self.monotone_tol, float) and self.monotone_tol >= 0.0):
+            raise ValueError(
+                f"monotone_tol must be a float >= 0, got {self.monotone_tol!r}; "
+                "e.g. monotone_tol=1e-9"
+            )
+        if not (isinstance(self.storm_factor, float) and self.storm_factor >= 1.0):
+            raise ValueError(
+                f"storm_factor must be a float >= 1 (multiple of the expected "
+                f"retransmit count), got {self.storm_factor!r}; e.g. storm_factor=8.0"
+            )
+
+
+def _anomaly(
+    oracle: str,
+    severity: str,
+    row: dict[str, Any] | None,
+    message: str,
+    **context: Any,
+) -> dict[str, Any]:
+    out: dict[str, Any] = {"oracle": oracle, "severity": severity, "message": message}
+    if row is not None:
+        out["algorithm"] = row["algorithm"]
+        out["n"] = row["n"]
+        out["p"] = row["p"]
+    out.update(context)
+    return out
+
+
+def check_scenario(
+    scenario: Scenario,
+    rows: list[dict[str, Any]],
+    alt_rows: list[dict[str, Any]] | None,
+    cfg: OracleConfig,
+) -> list[dict[str, Any]]:
+    """Run every oracle over one executed scenario; return anomaly dicts.
+
+    *rows* come from :func:`repro.campaign.executor.execute_scenario`
+    (one per feasible point, in canonical point order); *alt_rows* is
+    the same grid under the alternate scheduler, or ``None`` when the
+    divergence oracle is off.  Pure and deterministic: same inputs,
+    same anomaly list, byte-for-byte.
+    """
+    anomalies: list[dict[str, Any]] = []
+    plan = scenario.fault_plan
+
+    for row in rows:
+        # -- fault-signature / numerical-mismatch -----------------------------------
+        if row["outcome"] == "numerical-mismatch":
+            anomalies.append(_anomaly(
+                "numerical-mismatch", "error", row,
+                "simulated product differs from A @ B — faults must perturb "
+                "time, never payloads",
+            ))
+        elif row["outcome"] != "ok":
+            anomalies.append(_anomaly(
+                "fault-signature", "error", row,
+                f"run died with {row['outcome']}: {row['error']}",
+                signature=row["outcome"],
+            ))
+            continue
+
+        # -- model-disagreement ------------------------------------------------------
+        if plan.is_null and row["outcome"] == "ok" and row["T_model"] > 0.0:
+            rel = abs(row["T_sim"] - row["T_model"]) / row["T_model"]
+            if rel > cfg.model_rel_tol:
+                anomalies.append(_anomaly(
+                    "model-disagreement", "warn", row,
+                    f"simulator and model disagree on T_p by {rel:.3f} relative "
+                    f"(T_sim={row['T_sim']:.6g}, T_model={row['T_model']:.6g}, "
+                    f"tol={cfg.model_rel_tol:g})",
+                    relative_error=rel, limit=cfg.model_rel_tol,
+                ))
+
+        # -- retransmit-storm --------------------------------------------------------
+        retrans = row["retransmits"]
+        if plan.drop_rate == 0.0:
+            if retrans:
+                anomalies.append(_anomaly(
+                    "retransmit-storm", "error", row,
+                    f"{retrans} retransmissions with drop_rate=0 — retransmits "
+                    "must only come from injected drops",
+                    retransmits=retrans,
+                ))
+        else:
+            expected = row["messages"] * plan.drop_rate / (1.0 - plan.drop_rate) \
+                if plan.drop_rate < 1.0 else math.inf
+            limit = cfg.storm_factor * expected + 16.0
+            if retrans > limit:
+                anomalies.append(_anomaly(
+                    "retransmit-storm", "warn", row,
+                    f"{retrans} retransmissions vs ~{expected:.1f} expected at "
+                    f"drop_rate={plan.drop_rate:g} (limit {limit:.1f}) — "
+                    "retransmit blowup",
+                    retransmits=retrans, expected=expected, limit=limit,
+                ))
+
+    # -- non-monotone-efficiency -----------------------------------------------------
+    if plan.is_null:
+        curves: dict[tuple[str, int], list[dict[str, Any]]] = {}
+        for row in rows:
+            if row["outcome"] == "ok":
+                curves.setdefault((row["algorithm"], row["n"]), []).append(row)
+        for (key, n), curve in sorted(curves.items()):
+            curve.sort(key=lambda r: r["p"])
+            for lo, hi in zip(curve, curve[1:]):
+                if hi["efficiency_sim"] > lo["efficiency_sim"] * (1.0 + cfg.monotone_tol):
+                    anomalies.append(_anomaly(
+                        "non-monotone-efficiency", "error", hi,
+                        f"{key} efficiency at n={n} rises from "
+                        f"{lo['efficiency_sim']:.6g} (p={lo['p']}) to "
+                        f"{hi['efficiency_sim']:.6g} (p={hi['p']}) — "
+                        "superlinear speedup in the cost model",
+                        p_prev=lo["p"], efficiency_prev=lo["efficiency_sim"],
+                        efficiency=hi["efficiency_sim"],
+                    ))
+
+    # -- scheduler-divergence --------------------------------------------------------
+    if alt_rows is not None:
+        if len(alt_rows) != len(rows):
+            anomalies.append(_anomaly(
+                "scheduler-divergence", "error", None,
+                f"alternate scheduler produced {len(alt_rows)} rows for "
+                f"{len(rows)} points — grids must match",
+            ))
+        else:
+            for row, alt in zip(rows, alt_rows):
+                diffs = [
+                    f"{f}: {row[f]!r} != {alt[f]!r}"
+                    for f in _DIVERGENCE_FIELDS
+                    if row[f] != alt[f]
+                ]
+                if diffs:
+                    anomalies.append(_anomaly(
+                        "scheduler-divergence", "error", row,
+                        f"{row['scheduler']} vs {alt['scheduler']} diverge: "
+                        + "; ".join(diffs),
+                        alt_scheduler=alt["scheduler"],
+                    ))
+    return anomalies

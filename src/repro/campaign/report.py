@@ -1,0 +1,106 @@
+"""Anomaly reporting: fold a campaign run database into one artifact.
+
+The report is the campaign's deliverable: scenario totals, the anomaly
+catalogue grouped by oracle, and every finding with enough context
+(scenario ID, spec name, algorithm/n/p, message) to re-run it in
+isolation.  ``build_report`` is pure over the database contents, so the
+JSON artifact inherits the run database's byte determinism.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.campaign.database import CampaignDB
+from repro.campaign.oracles import ORACLES
+
+__all__ = ["build_report", "format_text", "write_report"]
+
+
+def build_report(db: CampaignDB) -> dict[str, Any]:
+    """Summarize *db* into the anomaly-report document."""
+    header = db.read_header()
+    totals = {"scenarios": 0, "ok": 0, "anomalous": 0, "failed": 0}
+    by_oracle: dict[str, int] = {name: 0 for name in ORACLES}
+    anomalies: list[dict[str, Any]] = []
+    failed: list[dict[str, Any]] = []
+    for rec in db.records():
+        totals["scenarios"] += 1
+        totals[rec["status"]] += 1
+        if rec["status"] == "failed":
+            failed.append({
+                "id": rec["id"],
+                "name": rec.get("name", ""),
+                "index": rec["index"],
+                "attempts": rec.get("attempts", 1),
+                "error": rec.get("error"),
+            })
+        for anom in rec.get("anomalies") or ():
+            by_oracle[anom["oracle"]] = by_oracle.get(anom["oracle"], 0) + 1
+            anomalies.append({
+                "scenario": rec["id"],
+                "scenario_name": rec.get("name", ""),
+                "index": rec["index"],
+                **anom,
+            })
+    return {
+        "kind": "campaign-report",
+        "battery": header["battery"],
+        "source": header["source"],
+        "oracles": header["oracles"],
+        "totals": totals,
+        "by_oracle": by_oracle,
+        "anomalies": anomalies,
+        "failed": failed,
+        "fingerprint": db.fingerprint(),
+    }
+
+
+def write_report(db: CampaignDB) -> dict[str, Any]:
+    """Build the report and write it next to the database
+    (``<prefix>.report.json``); returns the document."""
+    doc = build_report(db)
+    with open(db.report_path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def format_text(doc: dict[str, Any]) -> str:
+    """Human-readable rendering of a report document."""
+    t = doc["totals"]
+    lines = [
+        "campaign anomaly report",
+        f"  battery      {doc['battery'][:12]}  (db sha256 {doc['fingerprint'][:12]})",
+        f"  scenarios    {t['scenarios']}  "
+        f"(ok {t['ok']}, anomalous {t['anomalous']}, failed {t['failed']})",
+        "",
+        "  oracle                     violations",
+    ]
+    for name in ORACLES:
+        lines.append(f"  {name:<26} {doc['by_oracle'].get(name, 0)}")
+    extra = sorted(set(doc["by_oracle"]) - set(ORACLES))
+    for name in extra:
+        lines.append(f"  {name:<26} {doc['by_oracle'][name]}")
+    if doc["anomalies"]:
+        lines.append("")
+        lines.append("  findings:")
+        for anom in doc["anomalies"]:
+            where = anom.get("algorithm")
+            coords = (
+                f" [{where} n={anom.get('n')} p={anom.get('p')}]" if where else ""
+            )
+            lines.append(
+                f"    #{anom['index']} {anom['scenario'][:12]} "
+                f"{anom['severity']:<5} {anom['oracle']}{coords}: {anom['message']}"
+            )
+    if doc["failed"]:
+        lines.append("")
+        lines.append("  infrastructure failures (not anomalies):")
+        for rec in doc["failed"]:
+            lines.append(
+                f"    #{rec['index']} {rec['id'][:12]} after "
+                f"{rec['attempts']} attempts: {rec['error']}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,200 @@
+"""The campaign runner: execute a scenario battery through the
+crash-safe pipeline into the run database.
+
+Layers (bottom up): :func:`repro.campaign.executor.execute_scenario`
+does one scenario; this module sequences a battery of them with
+
+* **per-scenario watchdog** — ``jobs > 1`` with a *timeout* fans
+  scenarios over worker processes behind the same abandoned-pool
+  watchdog the sweep harness uses
+  (:func:`repro.experiments.sweep.run_watchdog_pool`);
+* **bounded retry with backoff** — an infrastructure failure (worker
+  death, hang, unexpected exception) retries up to *retries* times with
+  exponentially growing sleeps; a scenario that exhausts its retries is
+  recorded as ``status="failed"`` instead of sinking the battery;
+* **exact resume** — completed records are appended to the
+  :class:`~repro.campaign.database.CampaignDB` in battery order, so a
+  killed campaign resumes from the salvaged prefix and reproduces the
+  uninterrupted run byte-for-byte (same campaign seed ⇒ same
+  ``fingerprint()``).
+
+Records land in battery order even with ``jobs > 1``: out-of-order pool
+completions are buffered and flushed once every earlier scenario has
+landed, trading a little memory for a deterministic file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.campaign.database import CampaignDB, battery_fingerprint
+from repro.campaign.executor import execute_scenario
+from repro.campaign.oracles import OracleConfig
+from repro.campaign.schema import Scenario
+from repro.experiments.sweep import run_watchdog_pool
+
+__all__ = ["CampaignSummary", "run_campaign"]
+
+#: Test hook: seconds to sleep inside every scenario execution.  Lets the
+#: resume test SIGKILL a runner subprocess while it is provably mid-battery
+#: without racing a fast battery to completion.
+_DELAY_ENV = "REPRO_CAMPAIGN_SCENARIO_DELAY"
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSummary:
+    """What a campaign run did, in numbers."""
+
+    total: int
+    executed: int
+    ok: int
+    anomalous: int
+    failed: int
+    anomalies: int
+    fingerprint: str
+
+
+def _execute_task(scenario: Scenario, cfg: OracleConfig) -> dict[str, Any]:
+    """Module-level execution wrapper: picklable for the worker pool,
+    and the single place the test-hook delay applies."""
+    delay = float(os.environ.get(_DELAY_ENV, "0") or "0")
+    if delay > 0.0:
+        time.sleep(delay)
+    return execute_scenario(scenario, cfg)
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario],
+    db_prefix: str,
+    *,
+    oracles: OracleConfig | None = None,
+    source: dict[str, Any] | None = None,
+    resume: bool = False,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = 1,
+    backoff: float = 2.0,
+    _execute_fn: Callable[[Scenario, OracleConfig], dict[str, Any]] | None = None,
+) -> CampaignSummary:
+    """Run (or resume) a scenario battery into ``<db_prefix>.jsonl``.
+
+    *source* documents where the battery came from (autopilot seed or
+    scenario file) and is pinned in the database header along with the
+    battery fingerprint and oracle tolerances — a ``resume=True`` run
+    must present the identical battery or it fails loudly.  *retries*
+    bounds the number of re-attempts after an infrastructure failure
+    (``0`` disables retry); sleeps grow as ``backoff ** attempt`` tenths
+    of a second.  ``jobs > 1`` requires picklable execution and arms the
+    *timeout* watchdog per scenario.  *_execute_fn* swaps the scenario
+    executor in tests (fault-injection of the runner itself).
+    """
+    cfg = oracles if oracles is not None else OracleConfig()
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}; e.g. retries=1")
+    if not (backoff >= 1.0):
+        raise ValueError(f"backoff must be >= 1, got {backoff!r}; e.g. backoff=2.0")
+    execute = _execute_fn if _execute_fn is not None else _execute_task
+
+    ids = [s.scenario_id for s in scenarios]
+    dup = {i for i in ids if ids.count(i) > 1}
+    if dup:
+        raise ValueError(
+            f"battery contains duplicate scenarios: {sorted(dup)[0][:12]}…; "
+            "every scenario in a campaign must be unique"
+        )
+    oracle_doc = dataclasses.asdict(cfg)
+    header = CampaignDB.make_header(
+        battery=battery_fingerprint(ids, oracle_doc),
+        count=len(scenarios),
+        oracles=oracle_doc,
+        source=source if source is not None else {"kind": "inline"},
+    )
+    db = CampaignDB(db_prefix)
+    done = db.open_for_run(header, resume=resume)
+
+    todo = [(idx, s) for idx, s in enumerate(scenarios) if s.scenario_id not in done]
+    counts = {"ok": 0, "anomalous": 0, "failed": 0}
+    anomaly_count = 0
+
+    def finish(record: dict[str, Any]) -> None:
+        nonlocal anomaly_count
+        db.append(record)
+        counts[record["status"]] += 1
+        anomaly_count += len(record.get("anomalies") or ())
+
+    def attempt_inline(idx: int, scenario: Scenario, first_error: str | None) -> dict[str, Any]:
+        """Run one scenario in-process with the bounded retry loop.
+
+        *first_error* is non-``None`` when a pooled attempt already
+        failed — that consumed attempt #1.
+        """
+        errors = [first_error] if first_error is not None else []
+        while len(errors) <= retries:
+            if errors:
+                time.sleep(0.1 * backoff ** (len(errors) - 1))
+            try:
+                body = execute(scenario, cfg)
+            except Exception as exc:  # noqa: BLE001 — the retry boundary
+                errors.append(f"{type(exc).__name__}: {exc}")
+                continue
+            return {**body, "index": idx, "attempts": len(errors) + 1, "error": None}
+        return {
+            "id": scenario.scenario_id,
+            "name": scenario.name,
+            "index": idx,
+            "status": "failed",
+            "attempts": len(errors),
+            "error": errors[-1],
+            "rows": None,
+            "anomalies": None,
+        }
+
+    if jobs > 1 and todo:
+        # Pooled path: flush completions in battery order via a buffer so
+        # the file stays deterministic under out-of-order workers.
+        buffered: dict[int, dict[str, Any]] = {}
+        order = [idx for idx, _ in todo]
+        flushed = 0
+
+        def flush_ready() -> None:
+            nonlocal flushed
+            while flushed < len(order) and order[flushed] in buffered:
+                finish(buffered.pop(order[flushed]))
+                flushed += 1
+
+        def on_done(key: Any, body: Any) -> None:
+            idx = int(key)
+            buffered[idx] = {**body, "index": idx, "attempts": 1, "error": None}
+            flush_ready()
+
+        tasks = {idx: (s, cfg) for idx, s in todo}
+        failed_keys = run_watchdog_pool(
+            tasks, execute, jobs=jobs, timeout=timeout, on_done=on_done
+        )
+        by_idx = dict(todo)
+        for idx in sorted(failed_keys):
+            buffered[idx] = attempt_inline(
+                idx, by_idx[idx], "worker failed or watchdog timed out"
+            )
+            flush_ready()
+        flush_ready()
+    else:
+        for idx, scenario in todo:
+            finish(attempt_inline(idx, scenario, None))
+
+    db.sync_sqlite()
+    return CampaignSummary(
+        total=len(scenarios),
+        executed=len(todo),
+        ok=counts["ok"] + sum(1 for r in done.values() if r["status"] == "ok"),
+        anomalous=counts["anomalous"]
+        + sum(1 for r in done.values() if r["status"] == "anomalous"),
+        failed=counts["failed"] + sum(1 for r in done.values() if r["status"] == "failed"),
+        anomalies=anomaly_count
+        + sum(len(r.get("anomalies") or ()) for r in done.values()),
+        fingerprint=db.fingerprint(),
+    )

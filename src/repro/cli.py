@@ -23,6 +23,10 @@ Commands
 ``gantt``
     Simulate one run with tracing and render an ASCII Gantt chart of
     every rank's timeline.
+``campaign``
+    Scenario batteries: run an explicit battery, resume a killed one,
+    re-render its anomaly report, or let the autopilot hunt anomalies
+    with a seeded random battery (see :mod:`repro.campaign`).
 """
 
 from __future__ import annotations
@@ -161,6 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_g.add_argument("--width", type=int, default=100)
     _add_scheduler_arg(p_g)
     _add_machine_args(p_g)
+
+    from repro.campaign import cli as campaign_cli
+
+    campaign_cli.add_parser(subs)
     return parser
 
 
@@ -317,6 +325,10 @@ def main(argv: list[str] | None = None) -> int:
         out = _cmd_sweep(args)
     elif args.command == "gantt":
         out = _cmd_gantt(args)
+    elif args.command == "campaign":
+        from repro.campaign import cli as campaign_cli
+
+        out = campaign_cli.cmd(args)
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(f"unknown command {args.command!r}")
     print(out)

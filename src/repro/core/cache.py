@@ -44,6 +44,7 @@ import json
 import os
 import tempfile
 import threading
+import warnings
 import zipfile
 from collections import OrderedDict
 from typing import Any, Hashable, Mapping
@@ -52,6 +53,7 @@ import numpy as np
 
 __all__ = [
     "CACHE_VERSION",
+    "CorruptArtifactWarning",
     "ResultCache",
     "result_cache",
     "DiskCache",
@@ -59,7 +61,20 @@ __all__ = [
     "configure_disk_cache",
     "default_cache_dir",
     "cache_stats",
+    "canonical_fingerprint",
 ]
+
+
+class CorruptArtifactWarning(UserWarning):
+    """A persisted artifact (disk-cache shard, checkpoint row) was unreadable.
+
+    Corruption — a truncated write, a flipped bit, a foreign file — always
+    degrades to recomputation (a cache miss, a re-simulated block), never
+    to an unhandled exception; this warning is the audit trail that it
+    happened.  Filter on it in tests, or escalate it to an error with
+    ``-W error::repro.core.cache.CorruptArtifactWarning`` to make a
+    pipeline fail loudly on storage rot.
+    """
 
 #: Code-version salt mixed into every disk key.  Bump it whenever the
 #: *meaning* of a cached payload changes (a model expression, a grid
@@ -154,6 +169,26 @@ def _canonical(obj: Any) -> Any:
     return obj
 
 
+def canonical_fingerprint(payload: Any, *, salt: str = CACHE_VERSION) -> str:
+    """SHA-256 hex digest of the canonical JSON form of *payload*.
+
+    The one content-addressing primitive of the repo: disk-cache shard
+    keys, sweep-block shards, and campaign scenario/battery IDs
+    (:mod:`repro.campaign.schema`) all derive from it, so every layer
+    inherits the same guarantees — frozen dataclasses contribute their
+    class name plus *every* field, dict order never matters, and two
+    payloads collide only if their canonical forms are identical.  *salt*
+    namespaces independent key families (and versions them: bumping the
+    salt orphans old keys instead of resurrecting stale payloads).
+    """
+    doc = json.dumps(
+        {"salt": salt, "payload": _canonical(payload)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
 class DiskCache:
     """Content-addressed persistent shards under one root directory.
 
@@ -187,12 +222,7 @@ class DiskCache:
 
     def key_for(self, payload: Any) -> str:
         """The hex shard key for a canonical description of the inputs."""
-        doc = json.dumps(
-            {"salt": self.salt, "payload": _canonical(payload)},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(doc.encode()).hexdigest()
+        return canonical_fingerprint(payload, salt=self.salt)
 
     def _path(self, key: str, ext: str) -> str:
         return os.path.join(self.root, f"{key}.{ext}")
@@ -228,7 +258,13 @@ class DiskCache:
                 pass
             raise
 
-    def _drop_corrupt(self, path: str) -> None:
+    def _drop_corrupt(self, path: str, cause: BaseException) -> None:
+        warnings.warn(
+            f"discarding corrupt cache shard {path} ({type(cause).__name__}: {cause}); "
+            "treating it as a miss — the result will be recomputed",
+            CorruptArtifactWarning,
+            stacklevel=3,
+        )
         try:
             os.unlink(path)
         except OSError:
@@ -254,8 +290,8 @@ class DiskCache:
         except FileNotFoundError:
             self._count("misses")
             return None
-        except (OSError, ValueError, zipfile.BadZipFile, EOFError):
-            self._drop_corrupt(path)
+        except (OSError, ValueError, zipfile.BadZipFile, EOFError, KeyError) as exc:
+            self._drop_corrupt(path, exc)
             self._count("misses")
             return None
         self._count("hits")
@@ -284,8 +320,12 @@ class DiskCache:
         except FileNotFoundError:
             self._count("misses")
             return None
-        except (OSError, ValueError):
-            self._drop_corrupt(path)
+        except (OSError, ValueError) as exc:
+            self._drop_corrupt(path, exc)
+            self._count("misses")
+            return None
+        if not isinstance(doc, dict):
+            self._drop_corrupt(path, ValueError("shard is not a JSON object"))
             self._count("misses")
             return None
         self._count("hits")

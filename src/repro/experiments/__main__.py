@@ -97,9 +97,10 @@ def run_one(
                 n=32,
                 drop_rates=(0.0, 0.02, 0.1),
                 interval_factors=(0.5, 1.0, 2.0),
+                scheduler=scheduler,
             )
         else:
-            report = resilience.run()
+            report = resilience.run(scheduler=scheduler)
         if json_out:
             with open(json_out, "w") as fh:
                 json.dump(resilience.to_json(report), fh, indent=2)
@@ -139,8 +140,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scheduler", type=str, default=None,
                         choices=SCHEDULERS,
                         help="engine scheduler for scaling-large (default: "
-                             "heap when verifying, compiled with --no-verify; "
-                             "see docs/performance.md)")
+                             "heap when verifying, compiled with --no-verify) "
+                             "and resilience (fault timelines are bit-identical "
+                             "across rescan/heap; see docs/performance.md)")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="directory for the persistent result cache "
                              "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")

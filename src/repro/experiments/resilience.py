@@ -58,6 +58,12 @@ class ResilienceReport:
     crash_rate: float
     """Expected crashes per rank over each algorithm's fault-free runtime."""
 
+    scheduler: str | None
+    """Engine scheduler the curves were simulated on (``None`` = engine
+    default).  The heap scheduler's exact fault regime is bit-identical
+    to the reference, so every row is scheduler-independent — a property
+    the test suite pins by diffing whole reports across schedulers."""
+
     baseline: dict
     """Fault-free ``T_p`` and efficiency per algorithm (the Figure 4 point)."""
 
@@ -87,12 +93,14 @@ def _run_one(
     p: int,
     machine: MachineParams,
     plan: FaultPlan | None,
+    scheduler: str | None,
 ) -> MatmulResult:
     if name == "cannon":
         return run_cannon(
-            A, B, p, machine=machine, topology=FullyConnected(p), fault_plan=plan
+            A, B, p, machine=machine, topology=FullyConnected(p), fault_plan=plan,
+            scheduler=scheduler,
         )
-    return run_gk_cm5(A, B, p, machine=machine, fault_plan=plan)
+    return run_gk_cm5(A, B, p, machine=machine, fault_plan=plan, scheduler=scheduler)
 
 
 def _run_pair(
@@ -101,9 +109,13 @@ def _run_pair(
     p: int,
     machine: MachineParams,
     plan: FaultPlan | None,
+    scheduler: str | None,
 ) -> dict[str, MatmulResult]:
     """Both algorithms at the same operating point under the same plan."""
-    return {name: _run_one(name, A, B, p, machine, plan) for name in ("cannon", "gk")}
+    return {
+        name: _run_one(name, A, B, p, machine, plan, scheduler)
+        for name in ("cannon", "gk")
+    }
 
 
 def run(
@@ -116,6 +128,7 @@ def run(
     crash_rate: float = 2.0,
     seed: int = 0,
     verify: bool = True,
+    scheduler: str | None = None,
 ) -> ResilienceReport:
     """Sweep fault rate and checkpoint interval for Cannon and GK at *p*.
 
@@ -124,11 +137,17 @@ def run(
     retransmission timeout is one block-transfer time; checkpoint and
     recovery costs are fixed small fractions of the fault-free runtime
     so the interval sweep exposes the classic U-shaped tradeoff.
+
+    *scheduler* selects the engine core (``None`` = engine default).
+    Fault-active runs are bit-identical between the reference (rescan)
+    and heap schedulers, so the report's curves do not depend on it —
+    passing ``"heap"`` merely changes how the timeline is scheduled
+    internally (``"ready"`` silently falls back to rescan under a plan).
     """
     A, B = _operands(n, seed)
     expected = A @ B if verify else None
 
-    base = _run_pair(A, B, p, machine, None)
+    base = _run_pair(A, B, p, machine, None, scheduler)
     if expected is not None:
         for name, res in base.items():
             if not np.allclose(res.C, expected):
@@ -148,7 +167,7 @@ def run(
             results = base
         else:
             plan = FaultPlan(seed=seed, drop_rate=rate, timeout=timeout)
-            results = _run_pair(A, B, p, machine, plan)
+            results = _run_pair(A, B, p, machine, plan, scheduler)
             if expected is not None:
                 for name, res in results.items():
                     if not np.allclose(res.C, expected):
@@ -189,7 +208,7 @@ def run(
                 checkpoint_cost=ckpt_cost[name],
                 recovery_cost=recovery[name],
             )
-            res = _run_one(name, A, B, p, machine, plan)
+            res = _run_one(name, A, B, p, machine, plan, scheduler)
             if expected is not None and not np.allclose(res.C, expected):
                 raise AssertionError(f"numerical mismatch in {name} at factor={factor}")
             row[f"interval_{name}"] = factor * young[name]
@@ -209,6 +228,7 @@ def run(
         n=n,
         machine=machine,
         crash_rate=crash_rate,
+        scheduler=scheduler,
         baseline=baseline,
         fault_rows=tuple(fault_rows),
         checkpoint_rows=tuple(checkpoint_rows),
@@ -284,6 +304,7 @@ def to_json(report: ResilienceReport) -> dict:
         "n": report.n,
         "machine": {"ts": report.machine.ts, "tw": report.machine.tw},
         "crash_rate": report.crash_rate,
+        "scheduler": report.scheduler,
         "baseline": report.baseline,
         "fault_rows": list(report.fault_rows),
         "checkpoint_rows": list(report.checkpoint_rows),

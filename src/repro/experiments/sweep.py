@@ -49,17 +49,24 @@ import dataclasses
 import io
 import json
 import os
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Sequence, TextIO
+from typing import Any, Callable, Hashable, Mapping, Sequence, TextIO
 
 import numpy as np
 
 from repro.algorithms import registry
-from repro.core.cache import disk_cache, result_cache
+from repro.core.cache import CorruptArtifactWarning, disk_cache, result_cache
 from repro.core.machine import MachineParams
 from repro.core.models import MODELS
 
-__all__ = ["sweep", "rows_to_csv", "rows_to_json", "SweepWorkerError"]
+__all__ = [
+    "sweep",
+    "rows_to_csv",
+    "rows_to_json",
+    "SweepWorkerError",
+    "run_watchdog_pool",
+]
 
 
 class SweepWorkerError(RuntimeError):
@@ -136,16 +143,23 @@ def _load_checkpoint(path: str, header: dict) -> list[dict]:
     Raises :class:`ValueError` if the file's header doesn't match the
     current ``(machine, seed, verify)`` — rows from a different sweep
     configuration must never be mixed in silently.
+
+    A *corrupt row line* — the half-written tail of a kill -9, a flipped
+    bit — is never an exception: the row is discarded with a
+    :class:`CorruptArtifactWarning` and its block simply re-simulates.
+    When the damage is the file's final line (the truncated-write case),
+    the file is repaired by truncating to the last intact row so the
+    resumed sweep appends onto a clean line boundary.
     """
     if not os.path.exists(path):
         return []
-    with open(path) as fh:
+    with open(path, "rb") as fh:
         first = fh.readline().strip()
         if not first:
             return []
         try:
             found = json.loads(first)
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ValueError(
                 f"{path} is not a sweep checkpoint (bad header line: {exc}); "
                 "point --checkpoint at a fresh path or delete the file"
@@ -158,11 +172,35 @@ def _load_checkpoint(path: str, header: dict) -> list[dict]:
                 "path or rerun with the original machine/seed/verify settings"
             )
         rows = []
-        for line in fh:
-            line = line.strip()
-            if line:
-                rows.append(json.loads(line)["row"])
-        return rows
+        good_end = fh.tell()
+        bad_tail = False
+        for lineno, raw in enumerate(fh, start=2):
+            line = raw.strip()
+            if not line:
+                good_end = fh.tell()
+                continue
+            try:
+                row = json.loads(line)["row"]
+                if not isinstance(row, dict):
+                    raise TypeError(f"row is {type(row).__name__}, not an object")
+            except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError) as exc:
+                warnings.warn(
+                    f"{path}:{lineno}: discarding corrupt checkpoint row "
+                    f"({type(exc).__name__}: {exc}) — likely a write cut short "
+                    "by a crash; the affected block will be re-simulated",
+                    CorruptArtifactWarning,
+                    stacklevel=3,
+                )
+                bad_tail = True
+                continue
+            rows.append(row)
+            good_end = fh.tell()
+            bad_tail = False
+    if bad_tail:
+        # the damage includes the final line: drop the partial tail so a
+        # resumed sweep appends rows onto a clean line boundary
+        os.truncate(path, good_end)
+    return rows
 
 
 def _write_checkpoint_row(fh: TextIO, row: dict) -> None:
@@ -170,57 +208,60 @@ def _write_checkpoint_row(fh: TextIO, row: dict) -> None:
     fh.flush()
 
 
-def _run_blocks_parallel(
-    todo: dict[int, list[tuple[str, int]]],
-    machine: MachineParams,
-    seed: int,
-    verify: bool,
+def run_watchdog_pool(
+    tasks: Mapping[Hashable, tuple],
+    fn: Callable,
+    *,
     jobs: int,
-    worker_timeout: float | None,
-    block_fn: Callable,
-    on_block: Callable[[list[dict]], None],
-) -> list[int]:
-    """Fan blocks out over worker processes; return the ``n`` of every
-    block that failed (worker death, exception, or watchdog timeout).
+    timeout: float | None,
+    on_done: Callable[[Hashable, Any], None],
+) -> list[Hashable]:
+    """Fan *tasks* (key -> ``fn`` argument tuple) out over worker
+    processes; return the key of every task that failed (worker death,
+    exception, or watchdog timeout).
 
-    Completed blocks are delivered through *on_block* as they land, so a
-    later failure never discards them.  The pool is abandoned (not
-    joined) when the watchdog fires — waiting on a hung worker would
-    turn a detected hang back into an undetected one.
+    The crash-containment core shared by the sweep harness and the
+    campaign runner (:mod:`repro.campaign.runner`).  Completed results
+    are delivered through ``on_done(key, result)`` as they land, so a
+    later failure never discards them.  *timeout* arms the watchdog: if
+    no task completes for that many wall-clock seconds the pool is
+    declared hung, and it is abandoned (not joined) — waiting on a hung
+    worker would turn a detected hang back into an undetected one.
+    Keys must sort against each other (they order the abandonment list).
     """
-    failed: list[int] = []
-    pool = ProcessPoolExecutor(max_workers=min(jobs, len(todo)))
+    failed: list[Hashable] = []
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
     hung = False
     try:
-        fut_to_n = {}
-        for n, combos in todo.items():
+        fut_to_key = {}
+        for key, args in tasks.items():
             try:
-                fut_to_n[pool.submit(block_fn, n, combos, machine, seed, verify)] = n
+                fut_to_key[pool.submit(fn, *args)] = key
             except Exception:
-                # the pool broke before this block was even submitted
-                failed.append(n)
-        pending = set(fut_to_n)
+                # the pool broke before this task was even submitted
+                failed.append(key)
+        pending = set(fut_to_key)
         while pending:
             done_set, pending = wait(
-                pending, timeout=worker_timeout, return_when=FIRST_COMPLETED
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
             )
             if not done_set:
-                # watchdog: no block finished within worker_timeout
+                # watchdog: no task finished within the timeout
                 hung = True
-                stalled = sorted(pending, key=lambda f: fut_to_n[f])
+                stalled = sorted(pending, key=lambda f: fut_to_key[f])
                 for f in stalled:
                     f.cancel()
-                failed.extend(fut_to_n[f] for f in stalled)
+                failed.extend(fut_to_key[f] for f in stalled)
                 break
             for f in done_set:
                 try:
-                    rows = f.result()
+                    result = f.result()
                 except Exception:
-                    # worker died (BrokenProcessPool) or the block raised;
-                    # either way the block is retried inline by the caller
-                    failed.append(fut_to_n[f])
+                    # worker died (BrokenProcessPool) or the task raised;
+                    # either way the caller decides how to retry
+                    failed.append(fut_to_key[f])
                 else:
-                    on_block(rows)
+                    on_done(fut_to_key[f], result)
     finally:
         pool.shutdown(wait=not hung, cancel_futures=True)
     return failed
@@ -376,9 +417,12 @@ def sweep(
     try:
         if todo:
             if jobs > 1 and len(todo) > 1:
-                failed = _run_blocks_parallel(
-                    todo, machine, seed, verify, jobs, worker_timeout,
-                    block_fn, finish_block,
+                failed = run_watchdog_pool(
+                    {n: (n, combos, machine, seed, verify) for n, combos in todo.items()},
+                    block_fn,
+                    jobs=jobs,
+                    timeout=worker_timeout,
+                    on_done=lambda _key, rows: finish_block(rows),
                 )
                 for n in failed:
                     try:

@@ -93,6 +93,16 @@ def _require(cond: bool, message: str) -> None:
         raise ValueError(message)
 
 
+def _finite(v: Any) -> bool:
+    """True when *v* is a real, finite number (bools excluded).
+
+    NaN fails every range comparison anyway, but checking explicitly
+    lets the error message say "finite" instead of implying the value
+    was out of range.
+    """
+    return isinstance(v, (int, float)) and not isinstance(v, bool) and math.isfinite(v)
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A deterministic, seeded schedule of faults for one simulation.
@@ -154,58 +164,110 @@ class FaultPlan:
     """Fixed restart cost charged per crash, on top of the lost work."""
 
     def __post_init__(self) -> None:
+        # Every field is checked here, at construction, with a message
+        # naming the field, its legal range, and an example fix — a bad
+        # plan must never surface later as a cryptic RNG or arithmetic
+        # error deep inside a multi-hour campaign (same contract as
+        # MachineParams validation).
+        _require(
+            isinstance(self.seed, int) and not isinstance(self.seed, bool),
+            f"seed keys the plan's RNG stream family and must be an int, "
+            f"got {self.seed!r} ({type(self.seed).__name__}); e.g. seed=0",
+        )
         for name in ("straggler_rate", "degrade_rate", "drop_rate"):
             v = getattr(self, name)
             _require(
-                0.0 <= v <= 1.0,
-                f"{name} is a probability and must be in [0, 1], got {v!r}",
+                _finite(v) and 0.0 <= v <= 1.0,
+                f"{name} is a probability and must be a finite number in [0, 1], "
+                f"got {v!r}; e.g. {name}=0.05",
             )
-        _require(self.crash_rate >= 0.0,
-                 f"crash_rate must be >= 0 (expected crashes per rank), got {self.crash_rate!r}")
-        _require(self.horizon >= 0.0, f"horizon must be >= 0, got {self.horizon!r}")
+        _require(
+            _finite(self.crash_rate) and self.crash_rate >= 0.0,
+            f"crash_rate must be finite and >= 0 (expected crashes per rank over "
+            f"the horizon), got {self.crash_rate!r}; e.g. crash_rate=0.5",
+        )
+        _require(
+            _finite(self.horizon) and self.horizon >= 0.0,
+            f"horizon must be a finite time >= 0 in basic-op units, got "
+            f"{self.horizon!r}; e.g. horizon=50_000.0 (roughly the fault-free T_p)",
+        )
         _require(
             self.crash_rate == 0.0 or self.horizon > 0.0,
             "crash_rate > 0 schedules Poisson crashes over [0, horizon]; "
-            f"set horizon > 0 (got horizon={self.horizon!r})",
+            f"set horizon > 0 (got horizon={self.horizon!r}) — "
+            "e.g. FaultPlan(crash_rate=0.5, horizon=50_000.0, ...)",
         )
         for entry in self.crash_times:
+            _require(
+                isinstance(entry, tuple) and len(entry) == 2,
+                f"crash_times entries must be (rank, time) pairs, got {entry!r}; "
+                "e.g. crash_times=((3, 1200.0),)",
+            )
             rank, t = entry
             _require(
-                isinstance(rank, int) and rank >= 0,
+                isinstance(rank, int) and not isinstance(rank, bool) and rank >= 0,
                 f"crash_times ranks must be non-negative ints, got {entry!r}",
             )
-            _require(t > 0.0, f"crash time for rank {rank} must be > 0, got {t!r}")
+            _require(
+                _finite(t) and t > 0.0,
+                f"crash time for rank {rank} must be > 0 (and finite), got {t!r}",
+            )
             _require(
                 t <= self.horizon,
                 f"crash time t={t!r} for rank {rank} is beyond horizon={self.horizon!r}; "
                 "crashes must fall in (0, horizon] — raise the plan's horizon",
             )
-        _require(self.straggler_factor >= 1.0,
-                 f"straggler_factor multiplies compute time and must be >= 1, "
-                 f"got {self.straggler_factor!r}")
-        _require(self.degrade_factor >= 1.0,
-                 f"degrade_factor multiplies transfer time and must be >= 1, "
-                 f"got {self.degrade_factor!r}")
-        _require(self.timeout >= 0.0, f"timeout must be >= 0, got {self.timeout!r}")
+        _require(
+            _finite(self.straggler_factor) and self.straggler_factor >= 1.0,
+            f"straggler_factor multiplies compute time and must be a finite "
+            f"number >= 1, got {self.straggler_factor!r}; e.g. straggler_factor=2.0",
+        )
+        _require(
+            _finite(self.degrade_factor) and self.degrade_factor >= 1.0,
+            f"degrade_factor multiplies transfer time and must be a finite "
+            f"number >= 1, got {self.degrade_factor!r}; e.g. degrade_factor=4.0",
+        )
+        _require(
+            _finite(self.timeout) and self.timeout >= 0.0,
+            f"timeout (acknowledgment wait before a retransmission) must be a "
+            f"finite time >= 0, got {self.timeout!r}; e.g. timeout=500.0",
+        )
         _require(
             self.drop_rate == 0.0 or self.timeout > 0.0,
             "drop_rate > 0 needs a positive retransmission timeout; "
-            f"set timeout > 0 (got timeout={self.timeout!r})",
+            f"set timeout > 0 (got timeout={self.timeout!r}) — "
+            "e.g. FaultPlan(drop_rate=0.01, timeout=500.0)",
         )
-        _require(self.backoff >= 1.0,
-                 f"backoff must be >= 1 (the timeout never shrinks), got {self.backoff!r}")
-        _require(self.max_retries >= 0,
-                 f"max_retries must be >= 0, got {self.max_retries!r}")
+        _require(
+            _finite(self.backoff) and self.backoff >= 1.0,
+            f"backoff multiplies the timeout per consecutive failure and must "
+            f"be a finite number >= 1 (the timeout never shrinks), got "
+            f"{self.backoff!r}; e.g. backoff=2.0",
+        )
+        _require(
+            isinstance(self.max_retries, int)
+            and not isinstance(self.max_retries, bool)
+            and self.max_retries >= 0,
+            f"max_retries must be an int >= 0 (consecutive drops tolerated per "
+            f"message), got {self.max_retries!r}; e.g. max_retries=12",
+        )
         if self.checkpoint_interval is not None:
             _require(
-                self.checkpoint_interval > 0.0,
-                f"checkpoint_interval must be > 0 (got {self.checkpoint_interval!r}); "
-                "use None to disable checkpointing",
+                _finite(self.checkpoint_interval) and self.checkpoint_interval > 0.0,
+                f"checkpoint_interval must be a finite time > 0 "
+                f"(got {self.checkpoint_interval!r}); use None to disable "
+                "checkpointing, e.g. checkpoint_interval=10_000.0",
             )
-        _require(self.checkpoint_cost >= 0.0,
-                 f"checkpoint_cost must be >= 0, got {self.checkpoint_cost!r}")
-        _require(self.recovery_cost >= 0.0,
-                 f"recovery_cost must be >= 0, got {self.recovery_cost!r}")
+        _require(
+            _finite(self.checkpoint_cost) and self.checkpoint_cost >= 0.0,
+            f"checkpoint_cost must be a finite time >= 0 charged per checkpoint, "
+            f"got {self.checkpoint_cost!r}; e.g. checkpoint_cost=200.0",
+        )
+        _require(
+            _finite(self.recovery_cost) and self.recovery_cost >= 0.0,
+            f"recovery_cost must be a finite time >= 0 charged per crash restart, "
+            f"got {self.recovery_cost!r}; e.g. recovery_cost=500.0",
+        )
 
     @property
     def is_null(self) -> bool:
@@ -263,8 +325,8 @@ class CompiledFaults:
         "nprocs",
         "retransmits",
         "faults_injected",
-        "checkpoint_time",
-        "recovery_time",
+        "_ckpt_time",
+        "_recovery_time",
         "_crashes",
         "_straggle",
         "_degraded",
@@ -282,8 +344,12 @@ class CompiledFaults:
         self.nprocs = nprocs
         self.retransmits = 0
         self.faults_injected = 0
-        self.checkpoint_time = 0.0
-        self.recovery_time = 0.0
+        # per-rank accumulators: each rank's event sequence is the same
+        # under every scheduler, so per-rank partial sums are bit-exact;
+        # the run totals then sum in rank order (see the properties below),
+        # keeping them independent of scheduler interleaving too
+        self._ckpt_time = np.zeros(nprocs, dtype=np.float64)
+        self._recovery_time = np.zeros(nprocs, dtype=np.float64)
 
         crashes: list[deque[float]] = [deque() for _ in range(nprocs)]
         pending: list[list[float]] = [[] for _ in range(nprocs)]
@@ -327,6 +393,23 @@ class CompiledFaults:
         self._overflow = 0
 
     # -- reporting ------------------------------------------------------------------
+
+    @property
+    def checkpoint_time(self) -> float:
+        """Total time charged to checkpoints, summed in rank order.
+
+        Per-rank accumulation keeps the total bit-identical across
+        schedulers: float addition is not associative, so a run-level
+        scalar would pick up the scheduler's event interleaving.
+        """
+        return float(self._ckpt_time.sum())
+
+    @property
+    def recovery_time(self) -> float:
+        """Total time charged to crash recovery (restart cost + lost
+        work), summed in rank order — scheduler-independent like
+        :attr:`checkpoint_time`."""
+        return float(self._recovery_time.sum())
 
     @property
     def history(self) -> list[str]:
@@ -408,7 +491,7 @@ class CompiledFaults:
                     lost = 0.0
                 penalty = plan.recovery_cost + lost
                 end += penalty
-                self.recovery_time += penalty
+                self._recovery_time[rank] += penalty
                 # the rollback replays the lost work, so the checkpointed
                 # state (and the periodic schedule) shift with the timeline
                 self._last_ckpt[rank] += penalty
@@ -423,7 +506,7 @@ class CompiledFaults:
                     return end
                 cost = plan.checkpoint_cost
                 end += cost
-                self.checkpoint_time += cost
+                self._ckpt_time[rank] += cost
                 self._last_ckpt[rank] = ckpt_t + cost
                 self._next_ckpt[rank] = ckpt_t + cost + interval  # type: ignore[operator]
 
@@ -433,7 +516,7 @@ class CompiledFaults:
         plan = self.plan
         cost = plan.checkpoint_cost
         done = clock + cost
-        self.checkpoint_time += cost
+        self._ckpt_time[rank] += cost
         self._last_ckpt[rank] = done
         self._has_ckpt[rank] = True
         if plan.checkpoint_interval is not None:

@@ -1,0 +1,181 @@
+"""Run database: crash-safe salvage, header pinning, derived SQLite index."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.campaign.database import CampaignDB, battery_fingerprint
+from repro.core.cache import CorruptArtifactWarning
+
+
+def header(**overrides) -> dict:
+    base = CampaignDB.make_header(
+        battery="b" * 64, count=3, oracles={"model_rel_tol": 1.0},
+        source={"kind": "autopilot", "seed": 0, "count": 3, "profile": "smoke"},
+    )
+    base.update(overrides)
+    return base
+
+
+def record(i: int, status: str = "ok", anomalies: list | None = None) -> dict:
+    return {
+        "id": f"{i:064x}", "name": f"s{i}", "index": i, "status": status,
+        "attempts": 1, "error": None if status != "failed" else "boom",
+        "rows": [] if status != "failed" else None,
+        "anomalies": (anomalies or []) if status != "failed" else None,
+        "spec": {"seed": i},
+    }
+
+
+class TestLifecycle:
+    def test_fresh_run_writes_header_and_appends(self, tmp_path):
+        db = CampaignDB(tmp_path / "camp")
+        assert db.open_for_run(header(), resume=False) == {}
+        db.append(record(0))
+        db.append(record(1, status="anomalous"))
+        recs = list(db.records())
+        assert [r["index"] for r in recs] == [0, 1]
+        assert db.read_header()["count"] == 3
+
+    def test_fresh_run_refuses_to_clobber(self, tmp_path):
+        db = CampaignDB(tmp_path / "camp")
+        db.open_for_run(header(), resume=False)
+        with pytest.raises(FileExistsError, match="already exists"):
+            CampaignDB(tmp_path / "camp").open_for_run(header(), resume=False)
+
+    def test_resume_returns_done_records(self, tmp_path):
+        db = CampaignDB(tmp_path / "camp")
+        db.open_for_run(header(), resume=False)
+        db.append(record(0))
+        db.append(record(1, status="failed"))
+        done = CampaignDB(tmp_path / "camp").open_for_run(header(), resume=True)
+        assert set(done) == {record(0)["id"], record(1)["id"]}
+
+    def test_resume_without_file_fails_loudly(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="does not exist"):
+            CampaignDB(tmp_path / "camp").open_for_run(header(), resume=True)
+
+    @pytest.mark.parametrize("field, value", [
+        ("battery", "f" * 64),
+        ("count", 99),
+        ("oracles", {"model_rel_tol": 0.5}),
+        ("source", {"kind": "autopilot", "seed": 1, "count": 3, "profile": "smoke"}),
+    ])
+    def test_resume_pins_the_header(self, tmp_path, field, value):
+        db = CampaignDB(tmp_path / "camp")
+        db.open_for_run(header(), resume=False)
+        with pytest.raises(ValueError, match=f"different battery.*{field}"):
+            CampaignDB(tmp_path / "camp").open_for_run(
+                header(**{field: value}), resume=True)
+
+
+class TestSalvage:
+    def test_truncated_tail_is_repaired(self, tmp_path):
+        db = CampaignDB(tmp_path / "camp")
+        db.open_for_run(header(), resume=False)
+        db.append(record(0))
+        clean = db.jsonl_path.read_bytes()
+        db.append(record(1))
+        # SIGKILL mid-append: the last line is cut short
+        full = db.jsonl_path.read_bytes()
+        db.jsonl_path.write_bytes(full[:-7])
+        with pytest.warns(CorruptArtifactWarning, match="corrupt"):
+            done = CampaignDB(tmp_path / "camp").open_for_run(header(), resume=True)
+        assert set(done) == {record(0)["id"]}
+        assert db.jsonl_path.read_bytes() == clean
+
+    def test_torn_final_newline_is_repaired(self, tmp_path):
+        db = CampaignDB(tmp_path / "camp")
+        db.open_for_run(header(), resume=False)
+        db.append(record(0))
+        clean = db.jsonl_path.read_bytes()
+        db.append(record(1))
+        db.jsonl_path.write_bytes(db.jsonl_path.read_bytes()[:-1])
+        with pytest.warns(CorruptArtifactWarning, match="torn tail"):
+            done = CampaignDB(tmp_path / "camp").open_for_run(header(), resume=True)
+        assert set(done) == {record(0)["id"]}
+        assert db.jsonl_path.read_bytes() == clean
+
+    def test_bitflipped_interior_line_truncates_from_there(self, tmp_path):
+        db = CampaignDB(tmp_path / "camp")
+        db.open_for_run(header(), resume=False)
+        db.append(record(0))
+        prefix_len = db.jsonl_path.stat().st_size
+        db.append(record(1))
+        db.append(record(2))
+        raw = bytearray(db.jsonl_path.read_bytes())
+        raw[prefix_len + 5] ^= 0xFF  # corrupt record 1 in place
+        db.jsonl_path.write_bytes(bytes(raw))
+        with pytest.warns(CorruptArtifactWarning, match="everything after"):
+            done = CampaignDB(tmp_path / "camp").open_for_run(header(), resume=True)
+        # records 1 AND 2 re-run: the file is truncated back to record 0
+        assert set(done) == {record(0)["id"]}
+        assert db.jsonl_path.stat().st_size == prefix_len
+
+    def test_unreadable_header_is_not_resumable(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        path.write_text("not json\n")
+        with pytest.warns(CorruptArtifactWarning):
+            with pytest.raises(ValueError, match="no readable header"):
+                CampaignDB(tmp_path / "camp").open_for_run(header(), resume=True)
+
+    def test_wrong_kind_is_not_resumable(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        path.write_text(json.dumps({"kind": "sweep-checkpoint", "version": 1}) + "\n")
+        with pytest.raises(ValueError, match="not a version-1 campaign"):
+            CampaignDB(tmp_path / "camp").open_for_run(header(), resume=True)
+
+
+class TestSqlite:
+    def test_index_mirrors_the_jsonl(self, tmp_path):
+        db = CampaignDB(tmp_path / "camp")
+        db.open_for_run(header(), resume=False)
+        db.append(record(0))
+        db.append(record(1, status="anomalous", anomalies=[
+            {"oracle": "retransmit-storm", "severity": "warn",
+             "algorithm": "cannon", "n": 16, "p": 4, "message": "storm"},
+        ]))
+        db.append(record(2, status="failed"))
+        db.sync_sqlite()
+        con = sqlite3.connect(db.sqlite_path)
+        try:
+            assert con.execute("SELECT COUNT(*) FROM scenarios").fetchone()[0] == 3
+            status = dict(con.execute("SELECT idx, status FROM scenarios"))
+            assert status == {0: "ok", 1: "anomalous", 2: "failed"}
+            anom = con.execute(
+                "SELECT scenario_idx, oracle, p FROM anomalies").fetchall()
+            assert anom == [(1, "retransmit-storm", 4)]
+            stored = json.loads(con.execute(
+                "SELECT record FROM scenarios WHERE idx=1").fetchone()[0])
+            assert stored["id"] == record(1)["id"]
+        finally:
+            con.close()
+
+    def test_rebuild_is_deterministic(self, tmp_path):
+        db = CampaignDB(tmp_path / "camp")
+        db.open_for_run(header(), resume=False)
+        db.append(record(0))
+        db.sync_sqlite()
+        first = "\n".join(sqlite3.connect(db.sqlite_path).iterdump())
+        db.sync_sqlite()
+        second = "\n".join(sqlite3.connect(db.sqlite_path).iterdump())
+        assert first == second
+
+
+class TestFingerprints:
+    def test_fingerprint_tracks_bytes(self, tmp_path):
+        db = CampaignDB(tmp_path / "camp")
+        db.open_for_run(header(), resume=False)
+        a = db.fingerprint()
+        db.append(record(0))
+        assert db.fingerprint() != a
+
+    def test_battery_fingerprint_sensitivity(self):
+        ids = ["a" * 64, "b" * 64]
+        base = battery_fingerprint(ids, {"model_rel_tol": 1.0})
+        assert battery_fingerprint(ids, {"model_rel_tol": 1.0}) == base
+        assert battery_fingerprint(list(reversed(ids)), {"model_rel_tol": 1.0}) != base
+        assert battery_fingerprint(ids, {"model_rel_tol": 0.5}) != base

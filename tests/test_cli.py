@@ -141,6 +141,53 @@ class TestGanttCommand:
             main(["gantt", "cannon", "-n", "2", "-p", "64"])
 
 
+class TestCampaignCommand:
+    def test_autopilot_smoke_writes_db_and_report(self, capsys, tmp_path):
+        db = str(tmp_path / "camp")
+        assert main([
+            "campaign", "autopilot", "--seed", "5", "--count", "3",
+            "--profile", "smoke", "--db", db,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "anomaly report" in out
+        for suffix in (".jsonl", ".sqlite", ".report.json"):
+            assert (tmp_path / f"camp{suffix}").exists()
+
+    def test_report_rerender_matches_run_output(self, capsys, tmp_path):
+        import json
+
+        db = str(tmp_path / "camp")
+        assert main(["campaign", "autopilot", "--seed", "5", "--count", "2",
+                     "--profile", "smoke", "--db", db]) == 0
+        capsys.readouterr()
+        json_out = tmp_path / "again.json"
+        assert main(["campaign", "report", "--db", db,
+                     "--json-out", str(json_out)]) == 0
+        assert "scenarios" in capsys.readouterr().out
+        assert json.loads(json_out.read_text())["kind"] == "campaign-report"
+
+    def test_fail_on_anomaly_gates_with_planted_violation(self, tmp_path):
+        # tightening the model tolerance to 1e-12 makes every fault-free
+        # scenario an oracle violation, so the CI gate must trip (seed 3's
+        # six-scenario smoke battery includes fault-free scenarios)
+        with pytest.raises(SystemExit, match="fail-on-anomaly"):
+            main(["campaign", "autopilot", "--seed", "3", "--count", "6",
+                  "--profile", "smoke", "--db", str(tmp_path / "camp"),
+                  "--model-tol", "1e-12", "--fail-on-anomaly"])
+
+    def test_run_subcommand_reads_scenario_file(self, capsys, tmp_path):
+        import json
+
+        from repro.campaign.autopilot import PROFILES, generate_battery
+
+        battery = generate_battery(7, 2, PROFILES["smoke"])
+        path = tmp_path / "battery.json"
+        path.write_text(json.dumps([s.to_dict() for s in battery]))
+        assert main(["campaign", "run", "--scenarios", str(path),
+                     "--db", str(tmp_path / "filecamp")]) == 0
+        assert "2 of 2 scenarios executed" in capsys.readouterr().out
+
+
 class TestSchedulerChoices:
     """Both CLIs enumerate schedulers from engine.SCHEDULERS, not a
     hard-coded list — adding a scheduler must surface everywhere at once."""

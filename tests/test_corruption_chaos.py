@@ -1,0 +1,127 @@
+"""Corruption chaos: torn and bit-flipped persisted artifacts must
+degrade to a cache miss or a salvaged resume with a warning — never an
+unhandled exception."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CorruptArtifactWarning, DiskCache
+from repro.core.machine import MachineParams
+from repro.experiments.sweep import sweep
+
+M = MachineParams(ts=11.0, tw=3.0, name="chaos-test")
+
+
+def _sweep(path=None, **kw):
+    kw.setdefault("cache", False)
+    return sweep(["cannon"], [8, 16], [4, 16], M, checkpoint_path=path, **kw)
+
+
+class TestDiskShards:
+    def _shard(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = cache.key_for({"k": "chaos"})
+        cache.put_arrays(key, {"a": np.arange(64, dtype=np.float64)})
+        return cache, key, tmp_path / f"{key}.npz"
+
+    def test_truncated_npz_is_a_warned_miss(self, tmp_path):
+        cache, key, path = self._shard(tmp_path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.warns(CorruptArtifactWarning, match="treating it as a miss"):
+            assert cache.get_arrays(key) is None
+        assert not path.exists()  # quarantined, the next put starts clean
+
+    def test_bitflipped_npz_is_a_warned_miss(self, tmp_path):
+        cache, key, path = self._shard(tmp_path)
+        raw = bytearray(path.read_bytes())
+        for offset in (10, len(raw) // 2, len(raw) - 10):
+            raw[offset] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.warns(CorruptArtifactWarning):
+            assert cache.get_arrays(key) is None
+        assert not path.exists()
+
+    def test_empty_npz_is_a_warned_miss(self, tmp_path):
+        cache, key, path = self._shard(tmp_path)
+        path.write_bytes(b"")
+        with pytest.warns(CorruptArtifactWarning):
+            assert cache.get_arrays(key) is None
+
+    def test_corrupt_json_shard_is_a_warned_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = cache.key_for({"k": "json-chaos"})
+        cache.put_json(key, [{"row": 1}])
+        path = tmp_path / f"{key}.json"
+        path.write_text('{"rows": [truncat')
+        with pytest.warns(CorruptArtifactWarning):
+            assert cache.get_json(key) is None
+        assert not path.exists()
+
+    def test_wrong_document_shape_is_a_warned_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = cache.key_for({"k": "shape-chaos"})
+        cache.put_json(key, [{"row": 1}])
+        (tmp_path / f"{key}.json").write_text('[1, 2, 3]')
+        with pytest.warns(CorruptArtifactWarning):
+            assert cache.get_json(key) is None
+
+
+class TestCheckpointChaos:
+    def test_midline_truncation_salvages_and_resumes(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        rows = _sweep(str(path))
+        raw = path.read_bytes()
+        assert raw.endswith(b"\n")
+        path.write_bytes(raw[:-9])  # SIGKILL mid-append: torn last row
+        with pytest.warns(CorruptArtifactWarning, match="line"):
+            resumed = _sweep(str(path), resume=True)
+        assert resumed == rows
+        # the salvage truncated back to a clean line boundary before
+        # appending, so the repaired file parses end to end
+        for line in path.read_bytes().splitlines():
+            json.loads(line)
+
+    def test_bitflipped_row_is_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        rows = _sweep(str(path))
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1][:10] + b"\xff\xfe" + lines[1][12:]
+        path.write_bytes(b"".join(lines))
+        with pytest.warns(CorruptArtifactWarning):
+            resumed = _sweep(str(path), resume=True)
+        assert resumed == rows
+
+    def test_corrupt_rows_do_not_block_salvage_of_good_rows(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        _sweep(str(path))
+        lines = path.read_bytes().splitlines(keepends=True)
+        good_before = len(lines) - 1
+        lines[2] = b'{"row": "not a dict"}\n'
+        path.write_bytes(b"".join(lines))
+        ran = []
+
+        def counting(n, combos, machine, seed, verify):
+            ran.append(n)
+            from repro.experiments.sweep import _simulate_block
+            return _simulate_block(n, combos, machine, seed, verify)
+
+        with pytest.warns(CorruptArtifactWarning):
+            resumed = _sweep(str(path), resume=True, _block_fn=counting)
+        assert resumed == _sweep()
+        # only the block that lost a row re-ran, not the whole sweep
+        assert 0 < len(ran) <= good_before
+
+    def test_header_corruption_still_fails_loudly(self, tmp_path):
+        # a checkpoint whose *header* is unreadable is not salvageable —
+        # rows cannot be attributed to a configuration
+        path = tmp_path / "ck.jsonl"
+        _sweep(str(path))
+        raw = path.read_bytes().splitlines(keepends=True)
+        raw[0] = b"\x00\x01\x02 garbage\n"
+        path.write_bytes(b"".join(raw))
+        with pytest.raises(ValueError, match="not a sweep checkpoint"):
+            _sweep(str(path), resume=True)

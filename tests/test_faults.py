@@ -80,6 +80,29 @@ def _single(*requests):
         ({"checkpoint_interval": 0.0}, "checkpoint_interval"),
         ({"checkpoint_cost": -1.0}, "checkpoint_cost"),
         ({"recovery_cost": -1.0}, "recovery_cost"),
+        # non-finite values: every numeric field must reject nan/inf at
+        # construction rather than poisoning a schedule downstream
+        ({"drop_rate": float("nan")}, "probability"),
+        ({"straggler_rate": float("inf")}, "probability"),
+        ({"crash_rate": float("nan")}, "crash_rate"),
+        ({"horizon": float("inf")}, "horizon"),
+        ({"straggler_factor": float("nan")}, "straggler_factor"),
+        ({"degrade_factor": float("inf")}, "degrade_factor"),
+        ({"drop_rate": 0.1, "timeout": float("inf")}, "timeout"),
+        ({"backoff": float("nan")}, "backoff"),
+        ({"checkpoint_interval": float("inf")}, "checkpoint_interval"),
+        ({"checkpoint_cost": float("nan")}, "checkpoint_cost"),
+        ({"recovery_cost": float("inf")}, "recovery_cost"),
+        ({"crash_times": ((0, float("nan")),), "horizon": 10.0}, "must be > 0"),
+        # wrong types and shapes
+        ({"seed": 1.0}, "seed"),
+        ({"seed": True}, "seed"),
+        ({"max_retries": True}, "max_retries"),
+        ({"max_retries": 2.0}, "max_retries"),
+        ({"crash_times": ((0,), ), "horizon": 10.0}, r"\(rank, time\) pairs"),
+        ({"crash_times": ((0, 5.0, 1.0),), "horizon": 10.0}, r"\(rank, time\) pairs"),
+        ({"crash_times": ([0, 5.0],), "horizon": 10.0}, r"\(rank, time\) pairs"),
+        ({"crash_times": ((True, 5.0),), "horizon": 10.0}, "non-negative ints"),
     ],
 )
 def test_plan_validation(kwargs, fragment):

@@ -108,3 +108,33 @@ class TestRendering:
 
     def test_default_machine_is_cm5(self, report):
         assert report.machine.ts == CM5.ts and report.machine.tw == CM5.tw
+
+
+class TestSchedulerThreading:
+    def test_default_report_records_no_scheduler(self, report):
+        assert report.scheduler is None
+        assert json.loads(json.dumps(resilience.to_json(report)))["scheduler"] is None
+
+    def test_u_curves_are_bit_identical_across_schedulers(self, report):
+        # the fault regime's bit-identity contract, pinned end to end:
+        # the same U-curve study on the event-heap core must reproduce
+        # the reference (rescan) report number for number
+        heap = resilience.run(
+            p=64, n=16,
+            drop_rates=(0.0, 0.05),
+            interval_factors=(0.5, 1.0),
+            crash_rate=1.0,
+            scheduler="heap",
+        )
+        assert heap.scheduler == "heap"
+        assert heap.fault_rows == report.fault_rows
+        assert heap.checkpoint_rows == report.checkpoint_rows
+        assert heap.baseline == report.baseline
+        assert heap.best == report.best and heap.young == report.young
+
+    def test_cli_threads_scheduler(self, tmp_path):
+        from repro.experiments.__main__ import run_one
+
+        out = tmp_path / "resilience.json"
+        run_one("resilience", fast=True, json_out=str(out), scheduler="heap")
+        assert json.loads(out.read_text())["scheduler"] == "heap"
