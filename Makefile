@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-smoke bench-compare experiments examples lint resilience-smoke scale-16k-smoke scale-64k-smoke campaign-smoke clean
+.PHONY: install test bench bench-smoke bench-compare experiments examples lint resilience-smoke scale-16k-smoke scale-64k-smoke campaign-smoke serve-smoke clean
 
 install:
 	pip install -e ".[test]"
@@ -31,14 +31,14 @@ bench-smoke:
 
 # Diff the working-copy perf-guard report against the committed version
 # of the baseline and fail on >10% regressions in any gated speedup
-# common to both files.  By default both point at BENCH_PR8.json: the
+# common to both files.  By default both point at BENCH_PR10.json: the
 # committed report is the baseline, the file on disk (freshly written
 # by perf_guard.py) is the candidate.  Cross-PR baselines (BASE=
-# BENCH_PR5.json) are possible but expected to "regress" wherever a
+# BENCH_PR8.json) are possible but expected to "regress" wherever a
 # later PR sped up a shared reference implementation — the per-PR gate
 # recalibrations in perf_guard.py record those shifts.
-BASE ?= BENCH_PR8.json
-NEW ?= BENCH_PR8.json
+BASE ?= BENCH_PR10.json
+NEW ?= BENCH_PR10.json
 bench-compare:
 	@git show HEAD:$(BASE) > .bench_base.json 2>/dev/null || cp $(BASE) .bench_base.json
 	python benchmarks/bench_compare.py .bench_base.json $(NEW)
@@ -76,6 +76,13 @@ campaign-smoke:
 	rm -f CAMPAIGN.jsonl CAMPAIGN.sqlite CAMPAIGN.report.json
 	python -m repro campaign autopilot --seed 2024 --count 40 \
 		--profile smoke --db CAMPAIGN --fail-on-anomaly
+
+# A 500-query mixed load (point predictions, region maps, crossover
+# curves, simulator jobs) against a real repro.serve HTTP server on an
+# ephemeral port: zero errors and non-zero micro-batch coalescing
+# counters are asserted, exit non-zero otherwise.
+serve-smoke:
+	python benchmarks/serve_loadgen.py --smoke
 
 examples:
 	python examples/quickstart.py

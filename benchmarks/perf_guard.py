@@ -1,6 +1,6 @@
 """Performance guard: measure the fast paths against seed-style baselines.
 
-Nine workloads are timed, each against a faithful replica of the
+Ten workloads are timed, each against a faithful replica of the
 implementation it replaced:
 
 * ``engine`` — one representative grid of simulations under the seed
@@ -54,19 +54,28 @@ implementation it replaced:
   the memory tier cleared), plus one pass against the *persistent*
   default cache directory so a repeated CI invocation can assert disk
   hits.
+* ``serving`` — the :mod:`repro.serve` micro-batching hot path (see
+  ``benchmarks/serve_loadgen.py``): 1000 concurrent point-prediction
+  requests through the in-process ``dispatch()`` transport with the
+  coalescer on vs off (one vectorized ``predict_points`` per batch vs
+  one per request), gated at >= 8x with bit-identical responses, plus
+  the warm-start restart check (preloading from disk shards must answer
+  the first region request with zero fresh model evaluations).
 
 The engine/sweep/region-map/collectives sections run with the disk tier
 disabled so their baselines measure computation, not shard reloads.
 
-Results land in ``BENCH_PR8.json`` together with pass/fail acceptance
+Results land in ``BENCH_PR10.json`` together with pass/fail acceptance
 flags (pipeline sweep >= 2.5x, region_map >= 5x, macro broadcast >= 4x
 over the reference, Figure 4/5 pipeline >= 1.25x, refinement >= 8x at
 its largest grid and >= 1.5x at 1024^2, warm disk-cache figures
 pipeline >= 10x over cold, engine_heap fault-active >= 10x at
 p = 16384, engine_compiled >= 8x over the heap at p = 65536 and
-bit-identical to it at p <= 4096).  Run it directly::
+bit-identical to it at p <= 4096, serving batched throughput >= 8x
+over batching-disabled with bit-identical responses and a warm start
+that re-evaluates nothing).  Run it directly::
 
-    python benchmarks/perf_guard.py [--fast] [--out BENCH_PR8.json]
+    python benchmarks/perf_guard.py [--fast] [--out BENCH_PR10.json]
 
 ``--fast`` shrinks the grids for CI smoke runs (the speedups there are
 informational; acceptance is judged on the full grids).
@@ -666,6 +675,20 @@ def bench_region_map(fast: bool, repeats: int) -> dict:
     }
 
 
+def bench_serving(fast: bool, repeats: int) -> dict:
+    """The serve_loadgen gate section (batched throughput + warm start).
+
+    The serving load is sub-second, so the gate is judged at the full
+    1000 concurrent queries even under ``--fast``; serve_loadgen manages
+    its own temporary disk-shard directory for the warm-start check and
+    restores the guard's disabled-disk state afterwards.
+    """
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import serve_loadgen
+
+    return serve_loadgen.gate_section(fast, repeats=repeats)
+
+
 def _git_sha() -> str:
     """Short commit hash of the working tree, or ``"unknown"``."""
     try:
@@ -684,7 +707,7 @@ def _git_sha() -> str:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_PR8.json")
+    parser.add_argument("--out", default="BENCH_PR10.json")
     parser.add_argument("--fast", action="store_true", help="tiny grids for CI smoke runs")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--jobs", type=int, default=None,
@@ -715,6 +738,7 @@ def main(argv=None) -> int:
         "collectives": bench_collectives(args.fast, args.repeats),
         "refinement": bench_refinement(args.fast, args.repeats),
         "disk_cache": bench_disk_cache(args.fast, args.repeats),
+        "serving": bench_serving(args.fast, args.repeats),
     }
     configure_disk_cache(None)
     refres = report["refinement"]["resolutions"]
@@ -764,6 +788,18 @@ def main(argv=None) -> int:
             refres.get("1024", refres[largest])["speedup"] >= 1.5,
         "refinement_bit_identical": all(r["identical"] for r in refres.values()),
         "disk_cache_warm_speedup_ge_10x": report["disk_cache"]["warm_speedup"] >= 10.0,
+        # the serving load is full-size even under --fast (sub-second);
+        # identity is exact payload equality, not closeness — both modes
+        # end in the same vectorized scan
+        "serving_batched_speedup_ge_8x":
+            report["serving"]["throughput"]["speedup"] >= 8.0,
+        "serving_batched_identical":
+            report["serving"]["throughput"]["identical_to_unbatched"],
+        "serving_coalescing_counters_nonzero":
+            report["serving"]["throughput"]["coalescing"]["batches"] > 0
+            and report["serving"]["throughput"]["coalescing"]["batched_points"] > 0,
+        "serving_warm_start_zero_reevaluations":
+            report["serving"]["warm_start"]["zero_reevaluations"],
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -812,6 +848,16 @@ def main(argv=None) -> int:
           f"warm {dc['warm_s']*1e3:.1f}ms  speedup {dc['warm_speedup']:.1f}x  "
           f"persistent hits {dc['persistent']['hits']} "
           f"writes {dc['persistent']['writes']}")
+    srv_t = report["serving"]["throughput"]
+    srv_w = report["serving"]["warm_start"]
+    print(f"serving:    {srv_t['queries']} queries batched "
+          f"{srv_t['batched']['wall_s']*1e3:.1f}ms "
+          f"(p99 {srv_t['batched']['p99_ms']:.2f}ms)  unbatched "
+          f"{srv_t['unbatched']['wall_s']*1e3:.1f}ms  "
+          f"speedup {srv_t['speedup']:.1f}x  "
+          f"identical {srv_t['identical_to_unbatched']}  "
+          f"batches {srv_t['coalescing']['batches']}  "
+          f"warm fresh-computes {srv_w['fresh_computes']}")
     print(f"acceptance: {report['acceptance']}")
     print(f"wrote {args.out}")
     return 0 if all(report["acceptance"].values()) or args.fast else 1

@@ -272,6 +272,7 @@ def _load_rule_modules() -> None:
         rules_dimensions,
         rules_engine,
         rules_models,
+        rules_serve,
     )
 
 

@@ -27,6 +27,10 @@ Commands
     Scenario batteries: run an explicit battery, resume a killed one,
     re-render its anomaly report, or let the autopilot hunt anomalies
     with a seeded random battery (see :mod:`repro.campaign`).
+``serve``
+    Run the always-on prediction service: an asyncio HTTP/WebSocket
+    server with micro-batched point predictions, a warm-preloaded
+    serving cache, and an async job queue (see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -166,10 +170,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scheduler_arg(p_g)
     _add_machine_args(p_g)
 
+    p_srv = subs.add_parser(
+        "serve", help="run the always-on prediction service (repro.serve)"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8723,
+                       help="listening port (0 picks an ephemeral one)")
+    p_srv.add_argument("--max-batch", type=int, default=256,
+                       help="flush a pending batch at this many points")
+    p_srv.add_argument("--max-wait-us", type=float, default=500.0,
+                       help="micro-batching window in microseconds")
+    p_srv.add_argument("--no-batching", action="store_true",
+                       help="evaluate each request on arrival (baseline/debug mode)")
+    p_srv.add_argument("--no-preload", action="store_true",
+                       help="skip warming the serving cache at startup")
+    p_srv.add_argument("--workers", type=int, default=2,
+                       help="worker threads for simulator-backed jobs")
+    p_srv.add_argument("--cache-entries", type=int, default=512,
+                       help="bound on the serving-tier LRU")
+    p_srv.add_argument("--max-seconds", type=float, default=None,
+                       help="stop after this many seconds (smoke tests)")
+    _add_cache_args(p_srv)
+
     from repro.campaign import cli as campaign_cli
 
     campaign_cli.add_parser(subs)
     return parser
+
+
+def _cmd_serve(args) -> str:
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        batching=not args.no_batching,
+        cache_entries=args.cache_entries,
+        workers=args.workers,
+        preload=not args.no_preload,
+    )
+    return run_server(config, max_seconds=args.max_seconds)
 
 
 def _cmd_run(args) -> str:
@@ -325,6 +367,8 @@ def main(argv: list[str] | None = None) -> int:
         out = _cmd_sweep(args)
     elif args.command == "gantt":
         out = _cmd_gantt(args)
+    elif args.command == "serve":
+        out = _cmd_serve(args)
     elif args.command == "campaign":
         from repro.campaign import cli as campaign_cli
 

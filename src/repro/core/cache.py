@@ -5,7 +5,8 @@ a sweep row is determined by ``(algorithm, n, p, machine, seed)``, a
 region map by the machine and its grid.  This module provides the two
 tiers that exploit that purity:
 
-* :class:`ResultCache` — a small bounded in-process LRU shared by the
+* :class:`ResultCache` — an in-process LRU (unbounded by default,
+  boundable for long-lived servers) shared by the
   sweep harness (:mod:`repro.experiments.sweep`), the region analysis
   (:mod:`repro.core.regions`), the crossover analysis
   (:mod:`repro.core.crossover`), and the CLI, so repeated derivations
@@ -84,11 +85,18 @@ CACHE_VERSION = "2026.1"
 
 
 class ResultCache:
-    """A small thread-safe bounded LRU mapping hashable keys to results."""
+    """A thread-safe LRU mapping hashable keys to results.
 
-    def __init__(self, maxsize: int = 4096):
-        if maxsize <= 0:
-            raise ValueError("maxsize must be positive")
+    ``maxsize=None`` (the default) means unbounded — right for one-shot
+    CLI runs, where the working set is the run itself and eviction could
+    only hurt.  Long-lived processes (the :mod:`repro.serve` tier) pass
+    an explicit bound so memory cannot grow without limit; evictions are
+    counted and surfaced through :func:`cache_stats`.
+    """
+
+    def __init__(self, maxsize: int | None = None):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive (or None for unbounded)")
         self.maxsize = maxsize
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
@@ -109,13 +117,14 @@ class ResultCache:
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert *key* -> *value*, evicting the least recently used entry."""
+        """Insert *key* -> *value*, evicting LRU entries past any bound."""
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
-                self.evictions += 1
+            if self.maxsize is not None:
+                while len(self._data) > self.maxsize:
+                    self._data.popitem(last=False)
+                    self.evictions += 1
 
     def clear(self) -> None:
         with self._lock:
@@ -124,7 +133,7 @@ class ResultCache:
             self.misses = 0
             self.evictions = 0
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, int | None]:
         """Hit/miss/eviction/size counters (for ``--cache-stats`` and tests)."""
         with self._lock:
             return {

@@ -36,7 +36,17 @@ __all__ = [
     "gk_cannon_tw_cutoff",
     "dns_beats_gk_max_procs",
     "crossover_curve",
+    "crossover_compute_count",
 ]
+
+#: Fresh (cache-missing) curve computations this process — the serving
+#: warm-start gate's counterpart to ``regions.region_compute_count``.
+_CURVE_COMPUTES = 0
+
+
+def crossover_compute_count() -> int:
+    """Number of fresh (cache-missing) crossover-curve computations so far."""
+    return _CURVE_COMPUTES
 
 
 def _as_model(m: AlgorithmModel | str) -> AlgorithmModel:
@@ -255,6 +265,8 @@ def crossover_curve(
             result_cache().put(mem_key, tuple(curve))
             return curve
 
+    global _CURVE_COMPUTES
+    _CURVE_COMPUTES += 1
     xs = np.linspace(math.log(n_lo), math.log(n_hi), 400)
     ns = np.exp(xs)[None, :]
     p_col = np.asarray(ps)[:, None]

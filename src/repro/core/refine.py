@@ -35,7 +35,7 @@ sampled points match the dense curve exactly wherever both sample.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -47,6 +47,7 @@ __all__ = [
     "DEFAULT_TOL",
     "RefinedGrid",
     "winner_at_points",
+    "winner_details_at_points",
     "refine_winner_grid",
     "refine_crossover_curve",
 ]
@@ -84,12 +85,38 @@ def winner_at_points(
     than two models apply — and is what the refinement uses to decide
     whether a cell is comfortably inside one region.
     """
+    winner, gap, _, _ = winner_details_at_points(machine, n_points, p_points, model_keys)
+    return winner, gap
+
+
+def winner_details_at_points(
+    machine: MachineParams,
+    n_points: Sequence[float] | np.ndarray,
+    p_points: Sequence[float] | np.ndarray,
+    model_keys: tuple[str, ...] = COMPARISON_MODELS,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The :func:`winner_at_points` scan, plus runner-up and best overhead.
+
+    Returns ``(winner, gap, runner_up, best_overhead)``.  The first two
+    are *the same arrays, from the same floating-point operations*, as
+    :func:`winner_at_points` — the runner-up is tracked with pure
+    integer bookkeeping layered over the scan, so adding it cannot
+    perturb the winner or the gap.  ``runner_up`` is the index of the
+    second-best applicable model (``len(model_keys)`` sentinel when
+    fewer than two apply), i.e. the other side of the crossover
+    neighborhood a serving response reports.  ``best_overhead`` is the
+    winning model's ``T_o`` (``inf`` at sentinel points), from which
+    ``T_p = (n^3 + T_o)/p`` and ``E = n^3/(n^3 + T_o)`` follow without
+    re-evaluating any model.
+    """
     n_arr = np.asarray(n_points, dtype=float)
     p_arr = np.asarray(p_points, dtype=float)
     shape = np.broadcast_shapes(n_arr.shape, p_arr.shape)
+    sentinel = len(model_keys)
     best_to = np.full(shape, np.inf)
     second_to = np.full(shape, np.inf)
-    winner = np.full(shape, len(model_keys), dtype=np.intp)
+    winner = np.full(shape, sentinel, dtype=np.intp)
+    runner_up = np.full(shape, sentinel, dtype=np.intp)
     with np.errstate(over="ignore", invalid="ignore"):
         for i, key in enumerate(model_keys):
             model = MODELS[key]
@@ -97,15 +124,21 @@ def winner_at_points(
             ok = np.broadcast_to(model.applicable_grid(n_arr, p_arr), shape)
             cand = np.where(ok, to, np.inf)
             better = cand < best_to
+            # integer-only runner-up bookkeeping: a new leader demotes the
+            # old one; otherwise a candidate strictly under the current
+            # second-best takes the runner-up slot (ties keep the earlier
+            # key, mirroring the strict-improvement winner rule)
+            displaces = ~better & (cand < second_to)
+            runner_up = np.where(better, winner, np.where(displaces, i, runner_up))
             second_to = np.where(better, best_to, np.minimum(second_to, cand))
-            winner[better] = i
+            winner = np.where(better, i, winner)
             best_to = np.where(better, cand, best_to)
         gap = np.where(
             np.isfinite(second_to),
             (second_to - best_to) / np.maximum(np.abs(best_to), 1.0),
             np.inf,
         )
-    return winner, gap
+    return winner, gap, runner_up, best_to
 
 
 @dataclass(frozen=True)
@@ -165,6 +198,7 @@ def refine_winner_grid(
     *,
     max_depth: int | None = None,
     tol: float = DEFAULT_TOL,
+    progress: Callable[[dict[str, int]], None] | None = None,
 ) -> RefinedGrid:
     """Adaptively evaluate the winner grid over ``n_values x p_values``.
 
@@ -188,6 +222,13 @@ def refine_winner_grid(
     default is tuned so the refined grid reproduces the dense one
     exactly on the paper's Figure 1-3 regimes while evaluating a small
     fraction of the cells.
+
+    *progress*, if given, is called once per refinement level with
+    ``{"depth", "cells", "evaluated"}`` — the level number, the number
+    of live cells about to be examined, and the running count of
+    exactly-evaluated grid points.  It is a pure observer (the serving
+    layer streams it over WebSocket); refinement output is identical
+    with or without it.
     """
     if tol < 0:
         raise ValueError(f"tol must be non-negative, got {tol}")
@@ -264,7 +305,17 @@ def refine_winner_grid(
         eval_batches.append((rowflat, w))
 
     i0, i1, j0, j1 = _starting_cells(n_count, p_count, 1 << max_depth)
+    depth = 0
     while i0.size:
+        if progress is not None:
+            progress(
+                {
+                    "depth": depth,
+                    "cells": int(i0.size),
+                    "evaluated": int(evaluated_flat.sum()),
+                }
+            )
+        depth += 1
         f00 = i0 * p_count + j0
         f01 = i0 * p_count + j1
         f10 = i1 * p_count + j0

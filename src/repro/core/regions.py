@@ -29,8 +29,21 @@ __all__ = [
     "best_algorithm",
     "RegionMap",
     "region_map",
+    "region_map_from_grid",
+    "region_compute_count",
     "winner_grid",
 ]
+
+#: How many times this process labelled a region grid *from scratch*
+#: (neither cache tier answered).  The serving layer's warm-start gate
+#: reads it to prove that preloaded shards serve with zero
+#: re-evaluations.
+_REGION_COMPUTES = 0
+
+
+def region_compute_count() -> int:
+    """Number of fresh (cache-missing) region-grid computations so far."""
+    return _REGION_COMPUTES
 
 #: The paper's region letters (Figures 1-3).
 LETTER_OF: dict[str, str] = {
@@ -153,6 +166,27 @@ def _cells_from_winners(
     return tuple(tuple(labels[w] for w in row) for row in winners)
 
 
+def region_map_from_grid(
+    machine: MachineParams,
+    n_values: Sequence[float],
+    p_values: Sequence[float],
+    winners: np.ndarray,
+    model_keys: tuple[str, ...] = COMPARISON_MODELS,
+) -> RegionMap:
+    """Wrap an already-computed winner grid as a :class:`RegionMap`.
+
+    For callers that drive :func:`winner_grid` or the adaptive
+    refinement themselves (the serving layer streams refinement progress
+    while computing) and only need the labelling/packaging step.
+    """
+    return RegionMap(
+        machine=machine,
+        p_values=tuple(float(p) for p in p_values),
+        n_values=tuple(float(n) for n in n_values),
+        cells=_cells_from_winners(np.asarray(winners, dtype=np.intp), model_keys),
+    )
+
+
 def region_map(
     machine: MachineParams,
     *,
@@ -229,6 +263,8 @@ def region_map(
             winners = np.asarray(shard, dtype=np.intp)
 
     if winners is None:
+        global _REGION_COMPUTES
+        _REGION_COMPUTES += 1
         if refine:
             from repro.core.refine import refine_winner_grid
 

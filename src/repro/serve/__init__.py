@@ -1,0 +1,34 @@
+"""`repro.serve` — the always-on algorithm-selection service (ROADMAP item 1).
+
+A stdlib-only asyncio HTTP/WebSocket server answering "best algorithm,
+predicted time/efficiency/overhead split, and crossover neighborhood
+for (n, p, machine)" at serving throughput.  The hot path is the
+:class:`~repro.serve.batcher.MicroBatcher`: concurrent point requests
+coalesce per machine fingerprint into single vectorized
+:func:`~repro.core.prediction.predict_points` scans.  Region maps and
+crossover curves come from a bounded serving LRU
+(:class:`~repro.serve.cache.ServeTier`) warmed from the persistent disk
+tier at startup; simulator-backed predictions run through a bounded
+async :class:`~repro.serve.jobs.JobQueue`.
+
+Start it with ``python -m repro serve``; see ``docs/serving.md`` for
+the endpoint reference and ``benchmarks/serve_loadgen.py`` for the
+load-test harness behind the perf gate.
+"""
+
+from repro.serve.app import ReproServer, ServeConfig, run_server
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import ServeTier
+from repro.serve.jobs import Job, JobQueue
+from repro.serve.protocol import ProtocolError
+
+__all__ = [
+    "ReproServer",
+    "ServeConfig",
+    "run_server",
+    "MicroBatcher",
+    "ServeTier",
+    "Job",
+    "JobQueue",
+    "ProtocolError",
+]

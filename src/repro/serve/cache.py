@@ -1,0 +1,190 @@
+"""Serving-tier cache: bounded LRU over the two-tier PR 5 cache.
+
+Region maps and crossover curves are the service's expensive artifacts.
+This tier keeps finished, response-shaped results in a *bounded*
+:class:`~repro.core.cache.ResultCache` (a long-lived server must not
+grow without limit — the CLI's unbounded default is wrong here), keyed
+with the same :func:`~repro.core.cache.canonical_fingerprint` primitive
+as the disk shards, and falls through to
+:func:`~repro.core.regions.region_map` /
+:func:`~repro.core.crossover.crossover_curve` on a miss — which
+themselves consult the process-wide memory tier and the persistent disk
+tier before computing.
+
+Warm start: :meth:`ServeTier.preload` walks the paper's preset machines
+and the default request specs at startup, pulling any persisted shards
+into memory so the first client request after a restart is served
+without recomputation.  With ``REPRO_NO_DISK_CACHE=1`` (or a cold
+directory) the same walk computes the artifacts instead — the server
+still starts warm, it just pays the compute once; the
+``preload_computes`` counter records which of the two happened.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import crossover, regions
+from repro.core.cache import ResultCache, canonical_fingerprint, disk_cache
+from repro.core.machine import PRESETS, MachineParams
+from repro.core.models import COMPARISON_MODELS
+
+__all__ = ["ServeTier", "DEFAULT_REGION_SPEC", "DEFAULT_CURVE_PAIRS", "DEFAULT_CURVE_P"]
+
+#: Salt namespacing serve-tier LRU keys.
+SERVE_SALT = "repro-serve-tier"
+
+#: The region grid served (and preloaded) by default — the paper's
+#: Figures 1-3 ranges at full resolution.
+DEFAULT_REGION_SPEC: dict[str, Any] = {
+    "log2_p_max": 30,
+    "log2_n_max": 16,
+    "p_step": 1,
+    "n_step": 1,
+}
+
+#: Crossover pairs preloaded by default: the boundaries the paper
+#: discusses around Figures 1-3.
+DEFAULT_CURVE_PAIRS: tuple[tuple[str, str], ...] = (
+    ("cannon", "gk"),
+    ("berntsen", "gk"),
+)
+
+#: Default processor counts for served crossover curves (powers of two
+#: through the Figure 1-3 range).
+DEFAULT_CURVE_P: tuple[float, ...] = tuple(float(2**k) for k in range(2, 31, 2))
+
+#: Machines preloaded by default: the three figure regimes plus the
+#: measured CM-5.
+DEFAULT_PRELOAD_MACHINES: tuple[str, ...] = (
+    "ncube2-like",
+    "future-mimd",
+    "simd-cm2-like",
+    "cm5",
+)
+
+
+class ServeTier:
+    """Bounded in-memory LRU of response-shaped artifacts."""
+
+    def __init__(self, *, max_entries: int = 512):
+        self._lru = ResultCache(maxsize=max_entries)
+        self.preloaded = 0
+        self.preload_computes = 0
+
+    # -- keys -------------------------------------------------------------------
+
+    @staticmethod
+    def _key(kind: str, machine: MachineParams, spec: dict[str, Any]) -> str:
+        return canonical_fingerprint(
+            {"kind": kind, "machine": machine, **spec}, salt=SERVE_SALT
+        )
+
+    # -- artifacts --------------------------------------------------------------
+
+    def region(
+        self,
+        machine: MachineParams,
+        *,
+        log2_p_max: int = 30,
+        log2_n_max: int = 16,
+        p_step: int = 1,
+        n_step: int = 1,
+        refine: bool = False,
+        model_keys: tuple[str, ...] = COMPARISON_MODELS,
+    ) -> regions.RegionMap:
+        """The region map for *machine*, via LRU → memory/disk → compute."""
+        spec = {
+            "log2_p_max": log2_p_max,
+            "log2_n_max": log2_n_max,
+            "p_step": p_step,
+            "n_step": n_step,
+            "refine": refine,
+            "model_keys": list(model_keys),
+        }
+        key = self._key("region", machine, spec)
+        hit = self._lru.get(key)
+        if hit is not None:
+            return hit
+        rmap = regions.region_map(
+            machine,
+            log2_p_max=log2_p_max,
+            log2_n_max=log2_n_max,
+            p_step=p_step,
+            n_step=n_step,
+            refine=refine,
+            model_keys=model_keys,
+        )
+        self._lru.put(key, rmap)
+        return rmap
+
+    def region_put(
+        self, machine: MachineParams, spec: dict[str, Any], rmap: regions.RegionMap
+    ) -> None:
+        """Insert an externally computed map (the WebSocket refine path)."""
+        self._lru.put(self._key("region", machine, spec), rmap)
+
+    def region_get(
+        self, machine: MachineParams, spec: dict[str, Any]
+    ) -> regions.RegionMap | None:
+        """LRU-only probe (no fallthrough), for the WebSocket fast path."""
+        return self._lru.get(self._key("region", machine, spec))
+
+    def curve(
+        self,
+        a: str,
+        b: str,
+        machine: MachineParams,
+        p_values: tuple[float, ...] = DEFAULT_CURVE_P,
+    ) -> list[tuple[float, float | None]]:
+        """The ``n_EqualTo(p)`` crossover curve, via the same tiers."""
+        spec = {"a": a, "b": b, "p_values": list(p_values)}
+        key = self._key("curve", machine, spec)
+        hit = self._lru.get(key)
+        if hit is not None:
+            return hit
+        curve = crossover.crossover_curve(a, b, machine, p_values)
+        self._lru.put(key, curve)
+        return curve
+
+    # -- warm start -------------------------------------------------------------
+
+    def preload(
+        self,
+        machines: tuple[str, ...] = DEFAULT_PRELOAD_MACHINES,
+        *,
+        curves: bool = True,
+    ) -> dict[str, Any]:
+        """Pull the default artifacts for *machines* into the LRU.
+
+        Persisted shards load; anything missing (cold directory,
+        ``REPRO_NO_DISK_CACHE``) is computed once, now, instead of on
+        the first unlucky request.  Returns a summary for /stats.
+        """
+        before = regions.region_compute_count() + crossover.crossover_compute_count()
+        for name in machines:
+            machine = PRESETS[name]
+            self.region(machine, **DEFAULT_REGION_SPEC)
+            self.preloaded += 1
+            if curves:
+                for a, b in DEFAULT_CURVE_PAIRS:
+                    self.curve(a, b, machine)
+                    self.preloaded += 1
+        self.preload_computes = (
+            regions.region_compute_count() + crossover.crossover_compute_count() - before
+        )
+        return {
+            "entries": self.preloaded,
+            "computed_fresh": self.preload_computes,
+            "disk_tier": "enabled" if disk_cache() is not None else "disabled",
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """LRU counters plus the fresh-compute odometers of the core layer."""
+        return {
+            "lru": self._lru.stats(),
+            "preloaded": self.preloaded,
+            "preload_computes": self.preload_computes,
+            "region_computes": regions.region_compute_count(),
+            "curve_computes": crossover.crossover_compute_count(),
+        }

@@ -1,0 +1,170 @@
+"""Async job queue for expensive simulator-backed predictions.
+
+A simulated prediction (:func:`repro.core.prediction.simulated_prediction`)
+runs the discrete-event engine — milliseconds to minutes depending on
+``(n, p)`` — far too slow for the request path.  Clients instead POST a
+job, receive an id immediately, and poll its status; a bounded worker
+pool drains the queue in thread executors so the event loop (and the
+micro-batcher's latency window) stays unblocked.
+
+Results flow through the same cache keys as everything else: each job's
+parameters are content-addressed with
+:func:`~repro.core.cache.canonical_fingerprint`, a finished result is
+stored in the process-wide :func:`~repro.core.cache.result_cache`, and
+a resubmission of identical parameters completes instantly from cache
+(``cached: true`` in the job record) without touching the pool.
+
+Job ids are deterministic per process (``job-000001``, ...): the queue
+is introspectable and replayable in tests without wall-clock or RNG
+dependence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.cache import canonical_fingerprint, result_cache
+
+__all__ = ["Job", "JobQueue"]
+
+#: Salt namespacing job result keys in the shared result cache.
+JOB_SALT = "repro-serve-job"
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and its lifecycle."""
+
+    id: str
+    kind: str
+    params: dict[str, Any]
+    status: str = "queued"  # queued -> running -> done | error
+    result: Any = None
+    error: str | None = None
+    cached: bool = False
+    cache_key: str | None = field(default=None, repr=False)
+
+    def payload(self) -> dict[str, Any]:
+        """The job as a JSON response body."""
+        body: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "params": self.params,
+            "status": self.status,
+            "cached": self.cached,
+        }
+        if self.status == "done":
+            body["result"] = self.result
+        if self.error is not None:
+            body["error"] = self.error
+        return body
+
+
+class JobQueue:
+    """Bounded-worker queue with cache-keyed results and status polling."""
+
+    def __init__(self, *, workers: int = 2, max_pending: int = 256, history: int = 1024):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.history = history
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._queue: asyncio.Queue[tuple[Job, Callable[[], Any]]] = asyncio.Queue(
+            maxsize=max_pending
+        )
+        self._tasks: list[asyncio.Task] = []
+        self._seq = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cache_hits = 0
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._tasks = [loop.create_task(self._worker()) for _ in range(self.workers)]
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+
+    def submit(self, kind: str, params: dict[str, Any], fn: Callable[[], Any]) -> Job:
+        """Queue *fn*; raises :class:`asyncio.QueueFull` when saturated.
+
+        *params* must canonically describe the work *fn* performs — the
+        result is cached under their fingerprint, and an identical later
+        submission short-circuits to ``done`` without running.
+        """
+        self._seq += 1
+        key = canonical_fingerprint({"kind": kind, **params}, salt=JOB_SALT)
+        job = Job(id=f"job-{self._seq:06d}", kind=kind, params=params, cache_key=key)
+        hit = result_cache().get(("serve-job", key))
+        if hit is not None:
+            job.status = "done"
+            job.result = hit
+            job.cached = True
+            self.cache_hits += 1
+        else:
+            self._queue.put_nowait((job, fn))  # raises QueueFull when saturated
+        self._remember(job)
+        self.submitted += 1
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "pending": self._queue.qsize(),
+            "tracked": len(self._jobs),
+        }
+
+    # -- internals --------------------------------------------------------------
+
+    def _remember(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        # bound the history: forget the oldest *finished* jobs first so a
+        # status poll for live work never 404s
+        while len(self._jobs) > self.history:
+            for jid, j in self._jobs.items():
+                if j.status in ("done", "error"):
+                    del self._jobs[jid]
+                    break
+            else:
+                break
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job, fn = await self._queue.get()
+            job.status = "running"
+            try:
+                job.result = await loop.run_in_executor(None, fn)
+            except asyncio.CancelledError:
+                job.status = "error"
+                job.error = "cancelled at shutdown"
+                raise
+            except Exception as exc:
+                job.status = "error"
+                job.error = f"{type(exc).__name__}: {exc}"
+                self.failed += 1
+            else:
+                job.status = "done"
+                self.completed += 1
+                if job.cache_key is not None:
+                    result_cache().put(("serve-job", job.cache_key), job.result)
+            finally:
+                self._queue.task_done()

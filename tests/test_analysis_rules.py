@@ -38,6 +38,7 @@ def test_rule_catalogue_is_complete():
         "ENG001", "ENG002", "ENG003", "ENG004", "ENG005", "ENG006", "ENG007",
         "ENG008",
         "CACHE001", "SWEEP001", "DRIVER001",
+        "SRV001",
     }
     for rule in RULES.values():
         assert rule.name and rule.description

@@ -1,0 +1,134 @@
+"""SRV001: serve-layer code must use batched/cached model evaluation."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_paths, analyze_source
+from repro.analysis.cli import _explain
+
+
+def ids(src: str, path: str, **kw) -> list[str]:
+    return sorted({f.rule_id for f in analyze_source(textwrap.dedent(src), path, **kw)})
+
+
+SERVE_PATH = "src/repro/serve/handlers.py"
+
+
+def test_scalar_predict_in_serve_fires():
+    findings = analyze_source(
+        textwrap.dedent(
+            """
+            from repro.core.prediction import predict
+
+            async def handle(body, machine):
+                return 200, predict("gk", body["n"], body["p"], machine)
+            """
+        ),
+        SERVE_PATH,
+        select=["SRV001"],
+    )
+    assert [f.rule_id for f in findings] == ["SRV001"]
+    assert "predict_points" in findings[0].message
+
+
+def test_best_algorithm_and_selector_fire():
+    assert ids(
+        """
+        from repro.core.regions import best_algorithm
+        from repro.core.selector import select
+
+        async def handle(body, machine):
+            who = best_algorithm(body["n"], body["p"], machine)
+            ranked = select(body["n"], body["p"], machine)
+            return 200, {"who": who, "ranked": ranked}
+        """,
+        SERVE_PATH,
+        select=["SRV001"],
+    ) == ["SRV001"]
+
+
+def test_model_method_call_fires():
+    findings = analyze_source(
+        textwrap.dedent(
+            """
+            from repro.core.models import MODELS
+
+            async def handle(body, machine):
+                t = MODELS["gk"].time(body["n"], body["p"], machine)
+                return 200, {"predicted_time": t}
+            """
+        ),
+        SERVE_PATH,
+        select=["SRV001"],
+    )
+    assert [f.rule_id for f in findings] == ["SRV001"]
+    assert "micro-batcher" in findings[0].message
+
+
+def test_model_variable_method_fires():
+    assert ids(
+        """
+        async def handle(model, n, p, machine):
+            return 200, {"eff": model.efficiency(n, p, machine)}
+        """,
+        SERVE_PATH,
+        select=["SRV001"],
+    ) == ["SRV001"]
+
+
+def test_batched_entry_points_are_clean():
+    assert ids(
+        """
+        from repro.core.prediction import predict_points, simulated_prediction
+        from repro.core.refine import winner_at_points
+
+        async def handle(body, machine):
+            batch = predict_points(machine, body["ns"], body["ps"])
+            winner, gap = winner_at_points(machine, body["ns"], body["ps"])
+            return 200, {"count": len(batch)}
+        """,
+        SERVE_PATH,
+        select=["SRV001"],
+    ) == []
+
+
+def test_model_keys_variables_are_not_models():
+    # `model_keys` holds strings, not models: list methods on it are fine
+    assert ids(
+        """
+        async def handle(model_keys):
+            model_keys.count("gk")
+            return 200, {"keys": list(model_keys)}
+        """,
+        SERVE_PATH,
+        select=["SRV001"],
+    ) == []
+
+
+def test_same_code_outside_serve_is_clean():
+    # the contract is scoped: scalar calls are fine in the CLI layer
+    assert ids(
+        """
+        from repro.core.prediction import predict
+
+        def cmd(args, machine):
+            return predict("gk", args.n, args.p, machine)
+        """,
+        "src/repro/cli.py",
+        select=["SRV001"],
+    ) == []
+
+
+def test_serve_package_passes_its_own_rule():
+    report = analyze_paths(["src/repro/serve"], select=["SRV001"])
+    assert report.findings == []
+    assert report.files_checked >= 6
+
+
+def test_explain_text():
+    text = _explain("SRV001")
+    assert text is not None
+    assert "SRV001" in text
+    assert "MicroBatcher" in text  # the fix names the replacement
+    assert "MODELS['gk'].time" in text  # the example shows the smell

@@ -47,11 +47,28 @@ class TestResultCache:
             "misses": 1,
             "evictions": 0,
             "size": 1,
-            "maxsize": 4096,
+            "maxsize": None,
         }
         c.clear()
         stats = c.stats()
         assert stats["hits"] == stats["misses"] == stats["size"] == 0
+
+    def test_default_is_unbounded(self):
+        c = ResultCache()
+        for i in range(5000):
+            c.put(i, i)
+        assert len(c) == 5000
+        assert c.stats()["evictions"] == 0
+        # every entry is still present — nothing was silently dropped
+        assert c.get(0) == 0 and c.get(4999) == 4999
+
+    def test_bounded_stays_within_limit(self):
+        c = ResultCache(maxsize=8)
+        for i in range(100):
+            c.put(i, i)
+        assert len(c) == 8
+        assert c.stats()["maxsize"] == 8
+        assert c.stats()["evictions"] == 92
 
     def test_eviction_counter(self):
         c = ResultCache(maxsize=2)

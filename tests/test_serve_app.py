@@ -1,0 +1,310 @@
+"""End-to-end tests for the repro.serve HTTP/WebSocket application.
+
+A real server runs on an ephemeral port; clients are hand-rolled on
+asyncio streams (the repo has no HTTP client dependency, and speaking
+the wire protocol directly is the point — these tests cover the
+transport layer, not just ``dispatch``).
+"""
+
+import asyncio
+import base64
+import json
+import struct
+
+import pytest
+
+from repro.serve import ReproServer, ServeConfig
+
+
+async def _http(reader, writer, method, path, body=None, close=False):
+    """One request over an open connection; returns (status, payload)."""
+    data = b"" if body is None else json.dumps(body).encode()
+    conn = "close" if close else "keep-alive"
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(data)}\r\nConnection: {conn}\r\n\r\n"
+    )
+    writer.write(head.encode() + data)
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode().partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    return status, json.loads(await reader.readexactly(length))
+
+
+def _serve(test_coro, **config_kw):
+    """Run *test_coro(server, host, port)* against a live server."""
+    config_kw.setdefault("preload", False)
+
+    async def go():
+        server = ReproServer(ServeConfig(**config_kw))
+        await server.start()
+        try:
+            return await test_coro(server, "127.0.0.1", server.port)
+        finally:
+            await server.stop()
+
+    return asyncio.run(go())
+
+
+class TestHttp:
+    def test_healthz_and_stats(self):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            status, payload = await _http(reader, writer, "GET", "/healthz")
+            assert status == 200 and payload["ok"]
+            status, stats = await _http(reader, writer, "GET", "/stats")
+            assert status == 200
+            assert {"batcher", "serve_cache", "jobs", "predictions"} <= set(stats)
+            writer.close()
+
+        _serve(scenario)
+
+    def test_concurrent_predicts_coalesce(self):
+        async def scenario(server, host, port):
+            async def one(i):
+                reader, writer = await asyncio.open_connection(host, port)
+                status, payload = await _http(
+                    reader, writer, "POST", "/predict",
+                    {"machine": "cm5", "n": 256.0 + i, "p": 64}, close=True,
+                )
+                writer.close()
+                return status, payload
+
+            results = await asyncio.gather(*(one(i) for i in range(40)))
+            assert all(status == 200 for status, _ in results)
+            assert all(r["predictions"][0]["algorithm"] for _, r in results)
+            stats = server.batcher.stats()
+            assert stats["batches"] >= 1
+            assert stats["batched_points"] == 40
+            # 40 concurrent sockets coalesced into far fewer scans
+            assert stats["batches"] < 40
+
+        _serve(scenario)
+
+    def test_multi_point_and_machine_override(self):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            status, payload = await _http(
+                reader, writer, "POST", "/predict",
+                {
+                    "machine": {"preset": "cm5", "tw": 9.0},
+                    "points": [{"n": 128, "p": 16}, {"n": 2048, "p": 4096}],
+                },
+            )
+            assert status == 200 and payload["count"] == 2
+            assert payload["machine"]["tw"] == 9.0
+            writer.close()
+
+        _serve(scenario)
+
+    def test_keep_alive_connection_reuse(self):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            for n in (64.0, 128.0, 256.0):
+                status, _ = await _http(
+                    reader, writer, "POST", "/predict",
+                    {"machine": "ncube2-like", "n": n, "p": 16},
+                )
+                assert status == 200
+            writer.close()
+            assert server.connections == 1  # one socket served all three
+
+        _serve(scenario)
+
+    def test_error_statuses(self):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            cases = [
+                ("POST", "/predict", {"machine": "nope", "n": 4, "p": 4}, 400),
+                ("POST", "/predict", {"machine": "cm5", "n": -1, "p": 4}, 400),
+                ("POST", "/predict", {"machine": {"bogus": 1.0}, "n": 4, "p": 4}, 400),
+                ("GET", "/nope", None, 404),
+                ("GET", "/jobs/job-999999", None, 404),
+                ("POST", "/regions",
+                 {"machine": "cm5", "log2_p_max": 99}, 413),
+                ("POST", "/jobs",
+                 {"machine": "cm5", "algorithm": "cannon", "n": 4096, "p": 4}, 400),
+                ("POST", "/crossover", {"machine": "cm5", "a": "x", "b": "gk"}, 400),
+            ]
+            for method, path, body, want in cases:
+                status, payload = await _http(reader, writer, method, path, body)
+                assert status == want, (path, status, payload)
+                assert "error" in payload
+            writer.close()
+
+        _serve(scenario)
+
+    def test_malformed_json_body(self):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            raw = b"{not json"
+            writer.write(
+                (
+                    f"POST /predict HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {len(raw)}\r\n\r\n"
+                ).encode() + raw
+            )
+            await writer.drain()
+            status = int((await reader.readline()).split()[1])
+            assert status == 400
+            writer.close()
+
+        _serve(scenario)
+
+    def test_regions_and_crossover(self):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            status, payload = await _http(
+                reader, writer, "POST", "/regions",
+                {"machine": "future-mimd", "log2_p_max": 16, "log2_n_max": 10},
+            )
+            assert status == 200
+            assert len(payload["rows"]) == 11  # one row per log2(n)
+            assert len(payload["rows"][0]) == 17  # one letter per log2(p)
+            assert payload["fractions"]
+            status, payload = await _http(
+                reader, writer, "POST", "/crossover",
+                {"machine": "cm5", "a": "cannon", "b": "gk",
+                 "p_values": [16, 256, 4096]},
+            )
+            assert status == 200 and len(payload["curve"]) == 3
+            writer.close()
+
+        _serve(scenario)
+
+    def test_job_lifecycle_and_cached_resubmit(self):
+        async def scenario(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            body = {"machine": "cm5", "algorithm": "cannon", "n": 8, "p": 4, "seed": 1}
+            status, payload = await _http(reader, writer, "POST", "/jobs", body)
+            assert status == 202
+            job_id = payload["job"]["id"]
+            for _ in range(500):
+                status, payload = await _http(reader, writer, "GET", f"/jobs/{job_id}")
+                if payload["job"]["status"] in ("done", "error"):
+                    break
+                await asyncio.sleep(0.01)
+            job = payload["job"]
+            assert job["status"] == "done", job
+            assert job["result"]["verified"] is True
+            assert job["result"]["simulated_time"] > 0
+            # identical params: answered from the result cache, instantly
+            status, payload = await _http(reader, writer, "POST", "/jobs", body)
+            assert status == 202
+            assert payload["job"]["cached"] is True
+            assert payload["job"]["status"] == "done"
+            writer.close()
+
+        _serve(scenario)
+
+
+class TestWebSocket:
+    @staticmethod
+    async def _ws_scenario(server, host, port, request):
+        reader, writer = await asyncio.open_connection(host, port)
+        key = base64.b64encode(bytes(range(16))).decode()
+        writer.write(
+            (
+                f"GET /ws/regions HTTP/1.1\r\nHost: t\r\nUpgrade: websocket\r\n"
+                f"Connection: Upgrade\r\nSec-WebSocket-Key: {key}\r\n"
+                f"Sec-WebSocket-Version: 13\r\n\r\n"
+            ).encode()
+        )
+        await writer.drain()
+        assert b"101" in await reader.readline()
+        while (await reader.readline()) not in (b"\r\n", b"\n"):
+            pass
+        msg = json.dumps(request).encode()
+        mask = b"\x01\x02\x03\x04"
+        masked = bytes(c ^ mask[i % 4] for i, c in enumerate(msg))
+        head = bytes([0x81]) + (
+            bytes([0x80 | len(msg)]) if len(msg) < 126
+            else bytes([0x80 | 126]) + struct.pack(">H", len(msg))
+        )
+        writer.write(head + mask + masked)
+        await writer.drain()
+        events = []
+        while True:
+            b1, b2 = await reader.readexactly(2)
+            opcode = b1 & 0x0F
+            length = b2 & 0x7F
+            if length == 126:
+                (length,) = struct.unpack(">H", await reader.readexactly(2))
+            elif length == 127:
+                (length,) = struct.unpack(">Q", await reader.readexactly(8))
+            payload = await reader.readexactly(length) if length else b""
+            if opcode == 0x8:  # close
+                break
+            events.append(json.loads(payload))
+        writer.close()
+        return events
+
+    def test_streams_progress_then_result_then_cached(self):
+        request = {"machine": "ncube2-like", "log2_p_max": 20, "log2_n_max": 12}
+
+        async def scenario(server, host, port):
+            first = await self._ws_scenario(server, host, port, request)
+            assert any(e["event"] == "progress" for e in first)
+            depths = [e["depth"] for e in first if e["event"] == "progress"]
+            assert depths == sorted(depths)
+            result = first[-1]
+            assert result["event"] == "result" and result["cached"] is False
+            assert len(result["rows"]) == 13
+            # the second identical request must come straight from the
+            # serve tier: a single cached result event, no progress
+            second = await self._ws_scenario(server, host, port, request)
+            assert [e["event"] for e in second] == ["result"]
+            assert second[0]["cached"] is True
+            assert second[0]["rows"] == result["rows"]
+
+        _serve(scenario)
+
+    def test_bad_request_yields_error_event(self):
+        async def scenario(server, host, port):
+            events = await self._ws_scenario(
+                server, host, port, {"machine": "nope"}
+            )
+            assert events and events[0]["event"] == "error"
+
+        _serve(scenario)
+
+
+class TestDispatch:
+    """Transport-independent routing (the load generator's path)."""
+
+    def test_unknown_route(self):
+        async def scenario(server, host, port):
+            status, payload = await server.dispatch("PUT", "/predict", {})
+            assert status == 404 and "error" in payload
+
+        _serve(scenario)
+
+    def test_protocol_error_maps_to_status(self):
+        async def scenario(server, host, port):
+            status, _ = await server.dispatch(
+                "POST", "/predict", {"machine": "cm5", "points": []}
+            )
+            assert status == 400
+            status, _ = await server.dispatch(
+                "POST", "/predict",
+                {"machine": "cm5",
+                 "points": [{"n": 1, "p": 1}] * 5000},
+            )
+            assert status == 413
+
+        _serve(scenario)
+
+    def test_cli_serve_command_smoke(self, capsys):
+        from repro.cli import main
+
+        rc = main(["serve", "--port", "0", "--max-seconds", "0.2", "--no-preload"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro.serve listening on" in out
